@@ -1,0 +1,33 @@
+# Developer entry points. `make help` lists targets.
+
+.PHONY: help install test bench examples docs reproduce clean
+
+help:
+	@echo "install    editable install (falls back past missing wheel pkg)"
+	@echo "test       run the unit/integration/property test suite"
+	@echo "bench      run every table/figure benchmark"
+	@echo "examples   run all runnable examples"
+	@echo "docs       regenerate docs/api.md"
+	@echo "reproduce  write reproduction_report.md from all benchmarks"
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+docs:
+	python tools/gen_api_docs.py
+
+reproduce:
+	python -m repro reproduce --out reproduction_report.md
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

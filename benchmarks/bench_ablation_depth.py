@@ -1,0 +1,58 @@
+"""Ablation: GNN depth and the neighborhood explosion.
+
+Table 5 shows systems shipping 2-layer ((25, 10)) and 3-layer
+((15, 10, 5)) fanout defaults.  Depth multiplies the sampled
+neighborhood — the structural reason mini-batch GNNs stay shallow.
+This ablation trains 1-, 2-, and 3-layer GCNs with the corresponding
+paper-style fanouts and reports the accuracy/footprint trade.
+"""
+
+from repro import Trainer
+from repro.core import format_table
+
+from common import bench_dataset, quick_config, run_once
+
+DATASET = "ogb-arxiv"
+EPOCHS = 15
+DEPTHS = {1: (10,), 2: (10, 10), 3: (10, 10, 5)}
+
+
+def build_rows():
+    dataset = bench_dataset(DATASET)
+    rows = []
+    for depth, fanout in DEPTHS.items():
+        config = quick_config(epochs=EPOCHS, batch_size=128,
+                              num_workers=1, partitioner="hash",
+                              num_layers=depth, fanout=fanout)
+        result = Trainer(dataset, config).run()
+        footprint = result.involved_totals()
+        rows.append({
+            "layers": depth,
+            "fanout": str(fanout),
+            "best val acc": round(result.best_val_accuracy, 3),
+            "epoch #V": int(footprint["vertices"]),
+            "epoch #E": int(footprint["edges"]),
+            "epoch (sim ms)": round(
+                1e3 * result.curve.mean_epoch_seconds, 4),
+        })
+    return rows
+
+
+def test_ablation_depth(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print()
+    print(format_table(rows, title=f"Ablation: GNN depth ({DATASET})"))
+    by_depth = {r["layers"]: r for r in rows}
+    # Neighborhood explosion: every extra layer inflates the footprint.
+    assert by_depth[2]["epoch #V"] > by_depth[1]["epoch #V"]
+    assert by_depth[3]["epoch #V"] > by_depth[2]["epoch #V"]
+    # Two hops beat one on accuracy (aggregation needs range); the
+    # third hop is not guaranteed to pay for itself.
+    assert by_depth[2]["best val acc"] > by_depth[1]["best val acc"]
+    # Cost follows the footprint.
+    assert (by_depth[3]["epoch (sim ms)"]
+            > by_depth[1]["epoch (sim ms)"])
+
+
+if __name__ == "__main__":
+    print(format_table(build_rows(), title="Ablation: depth"))

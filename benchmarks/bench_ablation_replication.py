@@ -1,0 +1,63 @@
+"""Ablation: partition-aware feature replication budget (SALIENT++).
+
+Sweeps the per-machine replication budget and reports how much of the
+Metis partitioning's residual communication it removes — the caching
+idea behind SALIENT++'s Table 1 entry, here measured through the same
+workload accounting as Figures 4-5.
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.partition import (MetisPartitioner, measure_workload,
+                             partition_aware_replication)
+from repro.sampling import NeighborSampler
+
+from common import bench_dataset, run_once
+
+DATASET = "ogb-products"
+BUDGETS = (0.0, 0.1, 0.2, 0.4)
+
+
+def build_rows():
+    dataset = bench_dataset(DATASET)
+    sampler = NeighborSampler((10, 10))
+    base = MetisPartitioner("ve").partition(
+        dataset.graph, 4, split=dataset.split,
+        rng=np.random.default_rng(0))
+    rows = []
+    for budget in BUDGETS:
+        if budget == 0.0:
+            partition = base
+        else:
+            partition = partition_aware_replication(
+                dataset, base, sampler, budget,
+                rng=np.random.default_rng(1))
+        report = measure_workload(dataset, partition, sampler, 256,
+                                  rng=np.random.default_rng(2))
+        rows.append({
+            "budget": budget,
+            "replication factor":
+                round(partition.replication_factor(), 2),
+            "comm (MB)": round(report.total_comm_bytes / 1e6, 3),
+            "comm imbalance": round(report.comm_imbalance, 2),
+        })
+    return rows
+
+
+def test_ablation_replication_budget(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print()
+    print(format_table(rows, title=f"Ablation: replication ({DATASET})"))
+    volumes = [row["comm (MB)"] for row in rows]
+    # Monotone: more replication budget, less communication.
+    assert all(a >= b for a, b in zip(volumes, volumes[1:]))
+    # The largest budget removes a substantial share.
+    assert volumes[-1] < 0.7 * volumes[0]
+    # Replication factor grows with the budget.
+    factors = [row["replication factor"] for row in rows]
+    assert factors[-1] > factors[0]
+
+
+if __name__ == "__main__":
+    print(format_table(build_rows(), title="Ablation: replication"))

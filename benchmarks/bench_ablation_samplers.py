@@ -1,0 +1,71 @@
+"""Ablation: the five sampler families end-to-end.
+
+§6.2 classifies sampling algorithms into vertex-wise, layer-wise, and
+subgraph-wise families (and notes its parameter conclusions apply across
+them).  This ablation trains the same model under one representative of
+each family plus the rate and hybrid variants, reporting accuracy,
+per-epoch cost, and the per-batch footprint — the cost/quality Pareto
+the families trade along.
+"""
+
+from repro import Trainer
+from repro.core import format_table
+from repro.sampling import (HybridSampler, LayerWiseSampler,
+                            NeighborSampler, RateSampler, SubgraphSampler)
+
+from common import bench_dataset, quick_config, run_once
+
+DATASET = "ogb-arxiv"
+EPOCHS = 15
+
+SAMPLERS = {
+    "vertex-wise fanout(8,8)": NeighborSampler((8, 8)),
+    "rate(0.3)": RateSampler(0.3, num_layers=2),
+    "hybrid": HybridSampler(fanout=(8, 8), rate=0.3, degree_threshold=16),
+    "layer-wise (budget 256)": LayerWiseSampler(256, num_layers=2),
+    "subgraph-wise (pad 0.5)": SubgraphSampler(num_layers=2,
+                                               walk_padding=0.5),
+}
+
+
+def build_rows():
+    dataset = bench_dataset(DATASET)
+    rows = []
+    for label, sampler in SAMPLERS.items():
+        config = quick_config(epochs=EPOCHS, batch_size=128,
+                              num_workers=1, partitioner="hash",
+                              sampler=sampler)
+        result = Trainer(dataset, config).run()
+        footprint = result.involved_totals()
+        rows.append({
+            "sampler": label,
+            "best val acc": round(result.best_val_accuracy, 3),
+            "mean epoch (sim ms)":
+                round(1e3 * result.curve.mean_epoch_seconds, 4),
+            "epoch #V": int(footprint["vertices"]),
+            "epoch #E": int(footprint["edges"]),
+        })
+    return rows
+
+
+def test_ablation_sampler_families(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print()
+    print(format_table(rows,
+                       title=f"Ablation: sampler families ({DATASET})"))
+    by_name = {r["sampler"]: r for r in rows}
+    chance = 5 * (1 / 40)
+    # Every family learns far above chance.
+    assert all(r["best val acc"] > chance for r in rows)
+    # Subgraph-wise is the cheapest footprint (it never leaves the
+    # induced subgraph) but pays in accuracy vs vertex-wise.
+    sub = by_name["subgraph-wise (pad 0.5)"]
+    vw = by_name["vertex-wise fanout(8,8)"]
+    assert sub["epoch #E"] < vw["epoch #E"]
+    assert sub["best val acc"] <= vw["best val acc"] + 0.01
+    # Layer-wise caps the footprint below unrestricted vertex-wise.
+    assert by_name["layer-wise (budget 256)"]["epoch #V"] <= vw["epoch #V"]
+
+
+if __name__ == "__main__":
+    print(format_table(build_rows(), title="Ablation: samplers"))

@@ -1,0 +1,68 @@
+"""Figure 5: communication load of different partitionings.
+
+Per machine: remote sampled-subgraph bytes plus remote feature bytes
+received during one epoch.  Paper findings: hash has the most balanced
+but highest communication; Metis-V has the lowest total volume (best
+clustering); Stream-V needs (almost) no communication because it caches
+L-hop neighborhoods; Stream-B reduces volume but ignores balance.
+"""
+
+import numpy as np
+
+from repro.core import format_table, make_partitioner
+from repro.partition import measure_workload
+from repro.sampling import NeighborSampler
+
+from common import LABELED, PARTITIONERS, bench_dataset, run_once
+
+# Assertions run on the products stand-in; all four labeled datasets
+# are measured and printed, mirroring the paper's multi-dataset panels.
+DATASET = "ogb-products"
+
+
+def build_rows(datasets=(DATASET,)):
+    sampler = NeighborSampler((10, 10))
+    rows = []
+    for dataset_name in datasets:
+        dataset = bench_dataset(dataset_name)
+        for name in PARTITIONERS:
+            partitioner = make_partitioner(name)
+            result = partitioner.partition(dataset.graph, 4,
+                                           split=dataset.split,
+                                           rng=np.random.default_rng(1))
+            report = measure_workload(dataset, result, sampler,
+                                      batch_size=256,
+                                      rng=np.random.default_rng(2))
+            comm = [m.comm_bytes / 1e6 for m in report.machines]
+            rows.append({
+                "dataset": dataset_name,
+                "method": name,
+                "m0 (MB)": round(comm[0], 2),
+                "m1 (MB)": round(comm[1], 2),
+                "m2 (MB)": round(comm[2], 2),
+                "m3 (MB)": round(comm[3], 2),
+                "total (MB)": round(report.total_comm_bytes / 1e6, 2),
+                "imbalance": round(report.comm_imbalance, 2),
+            })
+    return rows
+
+
+def test_fig05_communication_load(benchmark):
+    rows = run_once(benchmark, lambda: build_rows(LABELED))
+    print()
+    print(format_table(rows, title="Figure 5: communication load"))
+    by_name = {r["method"]: r for r in rows
+               if r["dataset"] == DATASET}
+    totals = {m: by_name[m]["total (MB)"] for m in PARTITIONERS}
+    # Hash communicates the most; balanced across machines.
+    assert totals["hash"] == max(totals.values())
+    assert by_name["hash"]["imbalance"] < 1.2
+    # Metis clustering cuts volume well below hash.
+    for metis in ("metis-v", "metis-ve", "metis-vet"):
+        assert totals[metis] < 0.85 * totals["hash"]
+    # Stream-V: (near-)zero communication thanks to L-hop caching.
+    assert totals["stream-v"] < 0.05 * totals["hash"]
+
+
+if __name__ == "__main__":
+    print(format_table(build_rows(LABELED), title="Figure 5"))

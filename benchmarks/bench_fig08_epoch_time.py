@@ -1,0 +1,53 @@
+"""Figure 8: epoch time under different partition methods.
+
+Simulated per-epoch time of the same training recipe under each
+partitioning.  Paper findings: hash (and the streaming methods on
+power-law graphs) have the longest epochs; the Metis-extend variants sit
+close together below them; Stream-V's replication buys the shortest
+epochs.
+"""
+
+from repro import Trainer
+from repro.core import format_table
+
+from common import PARTITIONERS, bench_dataset, quick_config, run_once
+
+DATASETS = ("ogb-products", "reddit")
+EPOCHS = 6
+
+
+def build_rows():
+    rows = []
+    for dataset_name in DATASETS:
+        dataset = bench_dataset(dataset_name)
+        row = {"dataset": dataset_name}
+        for name in PARTITIONERS:
+            config = quick_config(partitioner=name, epochs=EPOCHS,
+                                  batch_size=128, fanout=(10, 10))
+            result = Trainer(dataset, config).run()
+            row[name] = round(1e3 * result.curve.mean_epoch_seconds, 3)
+        rows.append(row)
+    return rows
+
+
+def test_fig08_epoch_time(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print()
+    print(format_table(rows,
+                       title="Figure 8: epoch time (simulated ms)"))
+    for row in rows:
+        metis_mean = (row["metis-v"] + row["metis-ve"]
+                      + row["metis-vet"]) / 3
+        # Hash epochs are the longest of the communicating methods.
+        assert row["hash"] >= metis_mean
+        # Stream-V's L-hop caching buys the shortest epoch.
+        assert row["stream-v"] == min(
+            row[m] for m in PARTITIONERS)
+        # Metis variants sit close together (paper: "the epoch time for
+        # each [Metis] graph partitioning method is similar").
+        metis_values = [row["metis-v"], row["metis-ve"], row["metis-vet"]]
+        assert max(metis_values) < 1.6 * min(metis_values)
+
+
+if __name__ == "__main__":
+    print(format_table(build_rows(), title="Figure 8"))

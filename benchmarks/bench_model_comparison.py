@@ -1,0 +1,59 @@
+"""Model comparison: GCN vs GraphSAGE (the paper's two models) + GAT.
+
+§4: "The models used in our experiments are two representative GNN
+models, GCN and GraphSAGE" with hidden dim 128.  This benchmark runs
+both (plus the GAT extension) through the identical data-management
+pipeline, confirming the evaluation harness is model-agnostic and
+recording each model's accuracy/cost point.
+"""
+
+from repro import Trainer
+from repro.core import format_table
+
+from common import bench_dataset, quick_config, run_once
+
+DATASETS = ("ogb-arxiv", "ogb-products")
+MODELS = ("gcn", "graphsage", "gat")
+EPOCHS = 15
+
+
+def build_rows():
+    rows = []
+    for dataset_name in DATASETS:
+        dataset = bench_dataset(dataset_name)
+        for model in MODELS:
+            config = quick_config(model=model, epochs=EPOCHS,
+                                  batch_size=128, fanout=(8, 8),
+                                  num_workers=2, partitioner="metis-ve")
+            result = Trainer(dataset, config).run()
+            rows.append({
+                "dataset": dataset_name,
+                "model": model,
+                "best val acc": round(result.best_val_accuracy, 3),
+                "test acc": round(result.test_accuracy, 3),
+                "epoch (sim ms)": round(
+                    1e3 * result.curve.mean_epoch_seconds, 3),
+            })
+    return rows
+
+
+def test_model_comparison(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print()
+    print(format_table(rows, title="Model comparison (GCN vs "
+                                   "GraphSAGE vs GAT)"))
+    for dataset_name in DATASETS:
+        subset = [r for r in rows if r["dataset"] == dataset_name]
+        chance = 5 * (1 / 47)
+        # Every model learns far above chance.  GCN holds an edge on
+        # these stand-ins: its self-in-mean aggregation smooths the
+        # (deliberately noisy) planted features harder than GraphSAGE's
+        # separate self path — a data property, not a harness artifact.
+        assert all(r["best val acc"] > chance for r in subset)
+        gcn = next(r for r in subset if r["model"] == "gcn")
+        sage = next(r for r in subset if r["model"] == "graphsage")
+        assert abs(gcn["best val acc"] - sage["best val acc"]) < 0.2
+
+
+if __name__ == "__main__":
+    print(format_table(build_rows(), title="Model comparison"))

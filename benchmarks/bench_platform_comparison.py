@@ -1,0 +1,64 @@
+"""Deployment platform comparison (Table 1's platform axis).
+
+The paper's narrative (§3): early systems ran on CPU clusters or a
+single multi-GPU node; GPU clusters became the mainstream because they
+combine accelerator throughput with scalable node counts.  This
+benchmark trains the same workload on all three simulated platforms and
+measures where each one's time goes.
+"""
+
+from repro import Trainer
+from repro.core import config_for_platform, format_table
+from repro.transfer import cpu_cluster, gpu_cluster, multi_gpu
+
+from common import bench_dataset, run_once
+
+DATASET = "reddit"
+EPOCHS = 3
+
+PLATFORMS = (cpu_cluster(4), multi_gpu(4), gpu_cluster(4))
+
+
+def build_rows():
+    dataset = bench_dataset(DATASET)
+    rows = []
+    for platform in PLATFORMS:
+        config = config_for_platform(platform, epochs=EPOCHS,
+                                     batch_size=256, fanout=(10, 10),
+                                     partitioner="metis-ve")
+        result = Trainer(dataset, config).run()
+        shares = result.step_breakdown()
+        rows.append({
+            "platform": str(platform),
+            "epoch (sim ms)": round(
+                1e3 * result.curve.mean_epoch_seconds, 3),
+            "BP share": round(shares["batch_preparation"], 3),
+            "DT share": round(shares["data_transferring"], 3),
+            "NN share": round(shares["nn_computation"], 3),
+            "best val acc": round(result.best_val_accuracy, 3),
+        })
+    return rows
+
+
+def test_platform_comparison(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print()
+    print(format_table(rows,
+                       title=f"Platform comparison ({DATASET})"))
+    by_name = {r["platform"].split()[0]: r for r in rows}
+    cpu = by_name["cpu-cluster"]
+    mgpu = by_name["multi-gpu"]
+    cluster = by_name["gpu-cluster"]
+    # CPU cluster: compute-heavy profile (no accelerator), slowest NN
+    # share of the three.
+    assert cpu["NN share"] > cluster["NN share"]
+    # Multi-GPU: NVLink makes worker exchange cheap — fastest epochs.
+    assert mgpu["epoch (sim ms)"] < cluster["epoch (sim ms)"]
+    assert mgpu["epoch (sim ms)"] < cpu["epoch (sim ms)"]
+    # Same model quality everywhere: platforms change time, not math.
+    accs = [r["best val acc"] for r in rows]
+    assert max(accs) - min(accs) < 0.03
+
+
+if __name__ == "__main__":
+    print(format_table(build_rows(), title="Platform comparison"))

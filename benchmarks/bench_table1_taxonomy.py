@@ -1,0 +1,38 @@
+"""Table 1: summary of representative GNN systems and data management
+techniques.
+
+Prints the 24-system taxonomy and checks its aggregate structure
+(platform mix, optimization adoption over time).
+"""
+
+from repro.core import format_table, table1_rows
+
+from common import run_once
+
+
+def build_table():
+    rows = table1_rows()
+    text = format_table(
+        rows,
+        columns=["year", "system", "platform", "partition", "train",
+                 "sample", "sample_method", "transfer", "pipeline",
+                 "cache"],
+        title="Table 1: representative GNN systems")
+    return rows, text
+
+
+def test_table1_taxonomy(benchmark):
+    rows, text = run_once(benchmark, build_table)
+    print()
+    print(text)
+    assert len(rows) == 24
+    # The paper's narrative: mini-batch + sampling is the mainstream.
+    minibatch = [r for r in rows if r["train"] == "Mini-batch"]
+    assert len(minibatch) > len(rows) / 2
+    # GPU caching only appears from 2020 (PaGraph) on.
+    cached = [r for r in rows if r["cache"] == "yes"]
+    assert min(r["year"] for r in cached) == 2020
+
+
+if __name__ == "__main__":
+    print(build_table()[1])

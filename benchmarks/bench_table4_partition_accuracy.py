@@ -1,0 +1,57 @@
+"""Table 4: model accuracy under different partition methods.
+
+The paper trains to convergence under each partitioning on Reddit,
+OGB-Products, and Amazon and finds the highest validation accuracy
+differs only within ±0.3-0.9%: partitioning does not lose graph
+information (remote neighbors are still fetched), so it cannot change
+reachable accuracy.
+"""
+
+from repro import Trainer
+from repro.core import format_table
+
+from common import PARTITIONERS, bench_dataset, quick_config, run_once
+
+# Amazon's 107 classes leave few examples per class at benchmark scale,
+# so it runs bigger and longer to actually converge (the paper's Amazon
+# accuracy, 64%, is likewise the lowest of the three).
+DATASETS = (("reddit", 0.5, 22), ("ogb-products", 0.5, 22),
+            ("amazon", 1.0, 30))
+
+
+def build_rows():
+    rows = []
+    for dataset_name, scale, epochs in DATASETS:
+        dataset = bench_dataset(dataset_name, scale=scale)
+        row = {"dataset": dataset_name}
+        values = []
+        for name in PARTITIONERS:
+            config = quick_config(partitioner=name, epochs=epochs,
+                                  batch_size=128, fanout=(10, 10))
+            result = Trainer(dataset, config).run()
+            accuracy = result.best_val_accuracy
+            row[name] = f"{100 * accuracy:.1f}%"
+            values.append(accuracy)
+        row["diff"] = f"±{100 * (max(values) - min(values)) / 2:.1f}%"
+        row["_spread"] = max(values) - min(values)
+        rows.append(row)
+    return rows
+
+
+def test_table4_partition_accuracy(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print()
+    printable = [{k: v for k, v in row.items() if k != "_spread"}
+                 for row in rows]
+    print(format_table(printable,
+                       title="Table 4: accuracy per partitioner"))
+    # Partitioning leaves the reachable accuracy unchanged (the paper
+    # sees at most ±0.9% on Amazon; we allow a little more noise at
+    # simulation scale).
+    for row in rows:
+        assert row["_spread"] < 0.06, row
+
+
+if __name__ == "__main__":
+    for row in build_rows():
+        print(row)

@@ -1,0 +1,24 @@
+"""Table 5: default batch size and sampling parameters of existing GNN
+systems — printed from the taxonomy registry and sanity-checked against
+the paper's text."""
+
+from repro.core import format_table, table5_rows
+
+from common import run_once
+
+
+def test_table5_default_settings(benchmark):
+    rows = run_once(benchmark, table5_rows)
+    print()
+    print(format_table(rows, title="Table 5: system default settings"))
+    by_system = {r["system"]: r for r in rows}
+    assert len(rows) == 7
+    # §6.2's highlights: common batch sizes and the BNS-GCN 0.1 rate.
+    batch_sizes = {r["batch_size"] for r in rows}
+    assert {512, 1024, 2000, 6000, 8000} <= batch_sizes
+    assert by_system["BNS-GCN"]["sampling_rate"] == 0.1
+    assert "(25, 10)" in by_system["DistDGL"]["fanout"]
+
+
+if __name__ == "__main__":
+    print(format_table(table5_rows(), title="Table 5"))

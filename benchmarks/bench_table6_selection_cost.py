@@ -1,0 +1,70 @@
+"""Table 6: epoch time and involved vertices/edges of batch selection
+methods.
+
+Paper (Products): cluster-based batches involve ~0.6x the vertices and
+~0.8x the edges of random batches and cut the epoch time by more than
+half, because clustered seeds share sampled neighbors.
+"""
+
+import numpy as np
+
+from repro import Trainer
+from repro.batching import ClusterBatchSelector, RandomBatchSelector
+from repro.core import format_table
+
+from common import bench_dataset, quick_config, run_once
+
+DATASETS = ("ogb-products", "reddit")
+EPOCHS = 4
+
+
+def measure(dataset, selector_name):
+    config = quick_config(epochs=EPOCHS, batch_size=128, num_workers=1,
+                          partitioner="hash", fanout=(10, 10))
+    trainer = Trainer(dataset, config)
+    engine, _partition, _sampler, _model = trainer._build_engine()
+    selector = (RandomBatchSelector() if selector_name == "random"
+                else ClusterBatchSelector(dataset.graph))
+    rng = config.rng(salt=100)
+    stats = [engine.run_epoch(128, rng, selector=selector)
+             for _epoch in range(EPOCHS)]
+    return {
+        "epoch time (sim s)": float(np.mean(
+            [s.epoch_seconds for s in stats])),
+        "involved #V": float(np.mean(
+            [s.involved_vertices for s in stats])),
+        "involved #E": float(np.mean([s.involved_edges for s in stats])),
+    }
+
+
+def build_rows():
+    rows = []
+    for dataset_name in DATASETS:
+        dataset = bench_dataset(dataset_name)
+        for selector_name in ("random", "cluster-based"):
+            row = {"dataset": dataset_name, "method": selector_name}
+            row.update({k: round(v, 6)
+                        for k, v in measure(dataset, selector_name).items()})
+            rows.append(row)
+    return rows
+
+
+def test_table6_selection_cost(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print()
+    print(format_table(rows, title="Table 6: batch selection cost"))
+    for dataset_name in DATASETS:
+        random_row = next(r for r in rows if r["dataset"] == dataset_name
+                          and r["method"] == "random")
+        cluster_row = next(r for r in rows if r["dataset"] == dataset_name
+                           and r["method"] == "cluster-based")
+        # Cluster-based involves fewer vertices and edges per epoch...
+        assert cluster_row["involved #V"] < random_row["involved #V"]
+        assert cluster_row["involved #E"] < random_row["involved #E"]
+        # ... and a shorter epoch.
+        assert (cluster_row["epoch time (sim s)"]
+                < random_row["epoch time (sim s)"])
+
+
+if __name__ == "__main__":
+    print(format_table(build_rows(), title="Table 6"))

@@ -1,0 +1,64 @@
+"""GPU cache policy comparison — the paper's §7.3.3 (Figure 17).
+
+Sweeps the cache ratio for degree-based and pre-sampling-based caching
+on a power-law graph (Amazon stand-in) and a flat-degree graph
+(OGB-Papers stand-in), reporting hit rates and simulated transfer time.
+
+Usage::
+
+    python examples/cache_policy_comparison.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.core import format_table
+from repro.sampling import NeighborSampler
+from repro.transfer import (DEFAULT_SPEC, BatchStats, DegreeCache,
+                            PreSampleCache, RandomCache, ZeroCopy)
+
+
+def transfer_ms(dataset, cache, sampler, seeds, rounds=4):
+    method = ZeroCopy()
+    rng = np.random.default_rng(3)
+    total = 0.0
+    for _round in range(rounds):
+        batch = rng.permutation(seeds)[:400]
+        subgraph = sampler.sample(dataset.graph, batch, rng)
+        stats = BatchStats.from_subgraph(subgraph, dataset)
+        total += method.transfer(stats, DEFAULT_SPEC,
+                                 cache=cache).total_seconds
+    return 1e3 * total
+
+
+def main():
+    sampler = NeighborSampler((10, 5))
+    rows = []
+    for name in ("amazon", "ogb-papers"):
+        dataset = load_dataset(name, scale=0.5)
+        # Small hot seed set: the big-graph regime where one epoch
+        # touches a limited working set (see DESIGN.md).
+        seeds = dataset.train_ids[:max(
+            16, int(0.02 * dataset.num_vertices))]
+        for ratio in (0.1, 0.2, 0.4):
+            caches = {
+                "random": RandomCache(dataset.graph, ratio,
+                                      np.random.default_rng(0)),
+                "degree": DegreeCache(dataset.graph, ratio),
+                "presample": PreSampleCache(
+                    dataset.graph, sampler, seeds, ratio,
+                    rng=np.random.default_rng(1)),
+            }
+            row = {"dataset": name, "ratio": ratio}
+            for policy, cache in caches.items():
+                ms = transfer_ms(dataset, cache, sampler, seeds)
+                row[f"{policy} (ms)"] = round(ms, 3)
+                row[f"{policy} hit"] = round(cache.hit_rate, 2)
+            rows.append(row)
+    print(format_table(rows, title="Cache policies (Figure 17)"))
+    print("\nTakeaway: on the flat-degree graph, degree-based caching "
+          "degrades toward random; pre-sampling keeps working.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Full-batch distributed training and Sancus-style staleness.
+
+Trains the same full-graph GCN three ways — synchronous full-batch
+(boundary embeddings exchanged every epoch), staleness 1, and
+staleness 3 — and prints the epoch-time / accuracy trade Sancus's
+communication avoidance buys.
+
+Usage::
+
+    python examples/fullbatch_staleness.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.core import format_table
+from repro.dist import FullBatchEngine, FullGraphGCN
+from repro.nn import Adam
+from repro.partition import MetisPartitioner
+from repro.transfer import DEFAULT_SPEC
+
+EPOCHS = 25
+
+
+def run(dataset, partition, staleness):
+    model = FullGraphGCN(dataset.feature_dim, 128, dataset.num_classes,
+                         2, np.random.default_rng(1))
+    engine = FullBatchEngine(dataset, partition, model,
+                             Adam(model.parameters(), lr=0.003),
+                             spec=DEFAULT_SPEC, staleness=staleness)
+    elapsed, best, comm_bytes = 0.0, 0.0, 0
+    for _epoch in range(EPOCHS):
+        stats = engine.run_epoch()
+        elapsed += stats.epoch_seconds
+        comm_bytes += stats.remote_feature_bytes
+        best = max(best, engine.evaluate(dataset.val_ids))
+    return {
+        "staleness": staleness,
+        "best val acc": round(best, 3),
+        "mean epoch (sim ms)": round(1e3 * elapsed / EPOCHS, 4),
+        "boundary traffic (MB)": round(comm_bytes / 1e6, 2),
+    }
+
+
+def main():
+    dataset = load_dataset("ogb-arxiv", scale=0.5)
+    partition = MetisPartitioner("ve").partition(
+        dataset.graph, 4, split=dataset.split,
+        rng=np.random.default_rng(0))
+    rows = [run(dataset, partition, staleness)
+            for staleness in (0, 1, 3)]
+    print(format_table(rows, title="Full-batch training with "
+                                   "staleness-aware communication"))
+    fresh, stale = rows[0], rows[-1]
+    saved = 1 - stale["boundary traffic (MB)"] / max(
+        fresh["boundary traffic (MB)"], 1e-9)
+    print(f"\nstaleness=3 removes {100 * saved:.0f}% of the boundary "
+          f"traffic at {fresh['best val acc'] - stale['best val acc']:+.3f} "
+          f"accuracy delta")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Partitioning study: the paper's §5 in one script.
+
+Compares the six evaluated partitioning methods (Hash, Metis-V/VE/VET,
+Stream-V, Stream-B) on one dataset along every axis the paper measures:
+structural quality (edge cut, balance, replication), per-machine
+computational and communication workload (Figures 4-5), partitioning
+time (Figure 6), and training convergence (Figure 7 / Table 4).
+
+Usage::
+
+    python examples/partitioning_study.py [dataset]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Trainer, TrainingConfig, load_dataset, measure_workload
+from repro.core import format_table, make_partitioner
+from repro.partition import clustering_coefficient_variance, quality_report
+from repro.sampling import NeighborSampler
+
+METHODS = ("hash", "metis-v", "metis-ve", "metis-vet", "stream-v",
+           "stream-b")
+
+
+def main(dataset_name="ogb-products"):
+    dataset = load_dataset(dataset_name, scale=0.5)
+    sampler = NeighborSampler((10, 10))
+    print(f"dataset: {dataset.name}  |V|={dataset.num_vertices}  "
+          f"|E|={dataset.num_edges}\n")
+
+    quality_rows, workload_rows, training_rows = [], [], []
+    for name in METHODS:
+        partitioner = make_partitioner(name)
+        result = partitioner.partition(dataset.graph, 4,
+                                       split=dataset.split,
+                                       rng=np.random.default_rng(1))
+
+        quality = quality_report(dataset.graph, result, dataset.split)
+        quality["cc variance"] = clustering_coefficient_variance(
+            dataset.graph, result)
+        quality_rows.append({k: (round(v, 4) if isinstance(v, float)
+                                 else v)
+                             for k, v in quality.items()})
+
+        workload = measure_workload(dataset, result, sampler,
+                                    batch_size=256,
+                                    rng=np.random.default_rng(2))
+        summary = workload.summary()
+        workload_rows.append({k: (round(v, 3) if isinstance(v, float)
+                                  else v)
+                              for k, v in summary.items()})
+
+        config = TrainingConfig(partitioner=name, num_workers=4,
+                                batch_size=128, fanout=(10, 10),
+                                epochs=15)
+        training = Trainer(dataset, config).run()
+        training_rows.append({
+            "method": name,
+            "best val acc": round(training.best_val_accuracy, 3),
+            "epoch (sim ms)": round(
+                1e3 * training.mean_epoch_seconds, 3),
+            "time to 95% best (sim ms)": round(
+                1e3 * (training.curve.convergence_time(0.95) or 0), 3),
+        })
+
+    print(format_table(quality_rows, title="Partition quality"))
+    print()
+    print(format_table(workload_rows,
+                       title="Workload (one epoch, Figures 4-5)"))
+    print()
+    print(format_table(training_rows,
+                       title="Training (Figure 7 / Table 4)"))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1,0 +1,12 @@
+"""Batch selection and batch-size scheduling."""
+
+from .schedule import (BatchSizeSchedule, FixedBatchSize,
+                       PlateauAdaptiveBatchSize, StepGrowthBatchSize)
+from .selection import (BatchSelector, ClusterBatchSelector,
+                        RandomBatchSelector)
+
+__all__ = [
+    "BatchSelector", "RandomBatchSelector", "ClusterBatchSelector",
+    "BatchSizeSchedule", "FixedBatchSize", "StepGrowthBatchSize",
+    "PlateauAdaptiveBatchSize",
+]

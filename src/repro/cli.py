@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print the Table 2 dataset suite.
+``systems``
+    Print the Table 1 system taxonomy.
+``train``
+    Run one training configuration and print the result summary.
+``partition``
+    Compare partitioning methods on one dataset.
+``advise``
+    Inspect a dataset and recommend data-management techniques using
+    the paper's lessons learned (see :mod:`repro.core.advisor`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import Trainer, TrainingConfig, load_dataset
+from .core import format_table, make_partitioner, table1_rows
+from .core.advisor import advise
+from .graph import dataset_names, dataset_table
+from .partition import measure_workload, quality_report
+from .sampling import NeighborSampler
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    """The argparse parser for all CLI subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Comprehensive Evaluation of GNN "
+                    "Training Systems' (VLDB 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the Table 2 dataset suite")
+    sub.add_parser("systems", help="print the Table 1 system taxonomy")
+
+    train = sub.add_parser("train", help="run one training configuration")
+    train.add_argument("dataset", choices=dataset_names())
+    train.add_argument("--model", default="gcn",
+                       choices=["gcn", "graphsage"])
+    train.add_argument("--partitioner", default="metis-ve")
+    train.add_argument("--workers", type=int, default=4)
+    train.add_argument("--batch-size", type=int, default=512)
+    train.add_argument("--fanout", type=int, nargs="+", default=[25, 10])
+    train.add_argument("--transfer", default="zero-copy")
+    train.add_argument("--cache", default=None,
+                       choices=[None, "degree", "presample", "random"])
+    train.add_argument("--cache-ratio", type=float, default=0.0)
+    train.add_argument("--pipeline", default="bp+dt",
+                       choices=["none", "bp", "bp+dt"])
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--scale", type=float, default=1.0)
+    train.add_argument("--seed", type=int, default=0)
+
+    part = sub.add_parser("partition",
+                          help="compare partitioning methods")
+    part.add_argument("dataset", choices=dataset_names())
+    part.add_argument("--parts", type=int, default=4)
+    part.add_argument("--scale", type=float, default=1.0)
+    part.add_argument("--methods", nargs="+",
+                      default=["hash", "metis-v", "metis-ve", "metis-vet",
+                               "stream-v", "stream-b"])
+
+    adv = sub.add_parser("advise",
+                         help="recommend techniques for a dataset")
+    adv.add_argument("dataset", choices=dataset_names())
+    adv.add_argument("--scale", type=float, default=1.0)
+    adv.add_argument("--workers", type=int, default=4)
+
+    rep = sub.add_parser(
+        "reproduce",
+        help="run every table/figure benchmark, write one report")
+    rep.add_argument("--benchmarks-dir", default="benchmarks")
+    rep.add_argument("--out", default="reproduction_report.md")
+    rep.add_argument("--only", nargs="*", default=None,
+                     help="substring filters on benchmark file names")
+    return parser
+
+
+def _cmd_datasets(_args):
+    print(format_table(dataset_table(), title="Table 2: datasets"))
+    return 0
+
+
+def _cmd_systems(_args):
+    print(format_table(table1_rows(), title="Table 1: systems"))
+    return 0
+
+
+def _cmd_train(args):
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    config = TrainingConfig(
+        model=args.model, partitioner=args.partitioner,
+        num_workers=args.workers, batch_size=args.batch_size,
+        fanout=tuple(args.fanout), transfer=args.transfer,
+        cache_policy=args.cache, cache_ratio=args.cache_ratio,
+        pipeline=args.pipeline, epochs=args.epochs, seed=args.seed)
+    result = Trainer(dataset, config).run()
+    print(f"dataset            : {dataset.name} "
+          f"(|V|={dataset.num_vertices}, |E|={dataset.num_edges})")
+    print(f"best val accuracy  : {result.best_val_accuracy:.3f}")
+    print(f"test accuracy      : {result.test_accuracy:.3f}")
+    print(f"partitioning       : {result.partition_method} "
+          f"({result.partition_seconds:.3f}s wall)")
+    print(f"mean epoch (sim)   : {1e3 * result.mean_epoch_seconds:.3f} ms")
+    for step, share in result.step_breakdown().items():
+        print(f"  {step:18s} {100 * share:5.1f}%")
+    return 0
+
+
+def _cmd_partition(args):
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    sampler = NeighborSampler((10, 10))
+    rows = []
+    for name in args.methods:
+        partitioner = make_partitioner(name)
+        result = partitioner.partition(dataset.graph, args.parts,
+                                       split=dataset.split,
+                                       rng=np.random.default_rng(1))
+        quality = quality_report(dataset.graph, result, dataset.split)
+        workload = measure_workload(dataset, result, sampler,
+                                    batch_size=256,
+                                    rng=np.random.default_rng(2))
+        rows.append({
+            "method": name,
+            "seconds": round(result.seconds, 3),
+            "edge cut": round(quality["edge_cut_fraction"], 3),
+            "train balance": round(quality.get("train_balance", 0.0), 2),
+            "total comm (MB)": round(
+                workload.total_comm_bytes / 1e6, 2),
+            "comp imbalance": round(workload.compute_imbalance, 2),
+        })
+    print(format_table(rows,
+                       title=f"Partitioning comparison ({dataset.name})"))
+    return 0
+
+
+def _cmd_advise(args):
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    report = advise(dataset, num_workers=args.workers)
+    print(f"recommendations for {dataset.name}:")
+    for recommendation in report.recommendations:
+        print(f"  [{recommendation.topic}] {recommendation.choice}")
+        print(f"      {recommendation.reason}")
+    return 0
+
+
+def _cmd_reproduce(args):
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(args.benchmarks_dir)
+    if not bench_dir.is_dir():
+        print(f"benchmarks directory not found: {bench_dir}")
+        return 1
+    files = sorted(bench_dir.glob("bench_*.py"))
+    if args.only:
+        files = [f for f in files
+                 if any(token in f.name for token in args.only)]
+    if not files:
+        print("no benchmarks matched")
+        return 1
+    sections = ["# Reproduction report",
+                "",
+                f"{len(files)} benchmarks, run standalone.", ""]
+    failures = 0
+    for path in files:
+        print(f"running {path.name} ...", flush=True)
+        proc = subprocess.run(
+            [sys.executable, path.name], cwd=bench_dir,
+            capture_output=True, text=True, timeout=1800)
+        sections.append(f"## {path.name}\n")
+        body = proc.stdout.strip() or "(no output)"
+        if proc.returncode != 0:
+            failures += 1
+            body += f"\n\nFAILED (exit {proc.returncode})\n" \
+                    + proc.stderr.strip()[-2000:]
+        sections.append(f"```\n{body}\n```\n")
+    out = Path(args.out)
+    out.write_text("\n".join(sections))
+    print(f"wrote {out} ({len(files)} benchmarks, {failures} failures)")
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"datasets": _cmd_datasets, "systems": _cmd_systems,
+                "train": _cmd_train, "partition": _cmd_partition,
+                "advise": _cmd_advise, "reproduce": _cmd_reproduce}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

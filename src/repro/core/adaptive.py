@@ -1,0 +1,50 @@
+"""The paper's adaptive batch size training method (§6.3.1, Figure 10).
+
+Start training with a small batch size (large gradient magnitude, fast
+descent-direction discovery), then grow the batch as validation accuracy
+plateaus (small gradient magnitude, precise convergence).  The paper
+reports 1.64x / 1.52x faster convergence on Reddit / Products versus the
+best fixed batch size.
+"""
+
+from __future__ import annotations
+
+from ..batching.schedule import PlateauAdaptiveBatchSize
+from .trainer import Trainer
+
+__all__ = ["adaptive_batch_training", "compare_adaptive_to_fixed"]
+
+
+def adaptive_batch_training(dataset, config, start_size=128,
+                            max_size=2048, factor=2.0, patience=2):
+    """Run one training with the plateau-driven adaptive schedule.
+
+    Returns the :class:`~repro.core.trainer.TrainingResult`.
+    """
+    schedule = PlateauAdaptiveBatchSize(start_size, max_size,
+                                        factor=factor, patience=patience)
+    adaptive_config = config.with_overrides(batch_size=schedule)
+    return Trainer(dataset, adaptive_config).run()
+
+
+def compare_adaptive_to_fixed(dataset, config, fixed_sizes=(512,),
+                              start_size=128, max_size=2048,
+                              target_fraction=0.98):
+    """Figure 10's comparison: adaptive schedule vs fixed batch sizes.
+
+    Returns a dict mapping run label -> ``(result, convergence_seconds)``
+    where convergence time is the simulated time to reach
+    ``target_fraction`` of the run's own best accuracy.
+    """
+    outcomes = {}
+    adaptive = adaptive_batch_training(dataset, config,
+                                       start_size=start_size,
+                                       max_size=max_size)
+    outcomes["adaptive"] = (
+        adaptive, adaptive.curve.convergence_time(target_fraction))
+    for size in fixed_sizes:
+        result = Trainer(dataset,
+                         config.with_overrides(batch_size=size)).run()
+        outcomes[f"fixed-{size}"] = (
+            result, result.curve.convergence_time(target_fraction))
+    return outcomes

@@ -1,0 +1,151 @@
+"""Configuration advisor: the paper's "lessons learned" as code.
+
+The paper closes every section with practical lessons (§5.4, §6.4,
+§7.4).  :func:`advise` turns them into an actionable report: it inspects
+a dataset's structure (degree skew, density, label coverage, feature
+width) and the deployment (worker count) and recommends a partitioner,
+batch-size schedule, sampler, transfer method, cache policy, and
+pipeline mode — each with the lesson that justifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.metrics import degree_gini, is_power_law
+
+__all__ = ["Recommendation", "AdviceReport", "advise"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended setting plus the paper lesson behind it."""
+
+    topic: str       # e.g. "partitioner"
+    choice: str      # e.g. "metis-vet"
+    reason: str      # the lesson, with its section reference
+
+
+@dataclass
+class AdviceReport:
+    """All recommendations for one dataset/deployment."""
+
+    recommendations: list
+
+    def choice(self, topic):
+        """The recommended value for ``topic`` (None if absent)."""
+        for recommendation in self.recommendations:
+            if recommendation.topic == topic:
+                return recommendation.choice
+        return None
+
+    def as_config_kwargs(self):
+        """Recommendations as ``TrainingConfig`` keyword overrides."""
+        mapping = {
+            "partitioner": "partitioner",
+            "transfer": "transfer",
+            "cache_policy": "cache_policy",
+            "pipeline": "pipeline",
+            "sampler": "sampler",
+        }
+        kwargs = {}
+        for recommendation in self.recommendations:
+            key = mapping.get(recommendation.topic)
+            if key:
+                kwargs[key] = recommendation.choice
+        return kwargs
+
+
+def advise(dataset, num_workers=4, gpu_memory_headroom=0.2):
+    """Recommend data-management techniques for ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        :class:`~repro.graph.datasets.Dataset`.
+    num_workers:
+        Planned machine count.
+    gpu_memory_headroom:
+        Fraction of the feature store assumed to fit in spare GPU
+        memory (drives the cache recommendation).
+    """
+    recommendations = []
+    graph = dataset.graph
+    skewed = is_power_law(graph)
+    gini = degree_gini(graph)
+
+    # Partitioning (§5.4): Metis-extend meets the GNN partitioning
+    # goals at acceptable preprocessing cost; more constraints converge
+    # faster (less clustering -> more batch randomness).  Streaming's
+    # flexibility is not worth its partitioning time (lessons 4, 5).
+    if num_workers == 1:
+        recommendations.append(Recommendation(
+            "partitioner", "hash",
+            "Single machine: partitioning quality is irrelevant; hash "
+            "is free (§5.3.3)."))
+    else:
+        recommendations.append(Recommendation(
+            "partitioner", "metis-vet",
+            "Metis-extend meets the GNN partitioning goals at <10% "
+            "preprocessing share, and the most-constrained variant "
+            "preserves batch randomness, converging fastest (§5.3.4, "
+            "lesson 5)."))
+
+    # Batch preparation (§6.4, lessons 1-2): adaptive batch size,
+    # random selection.
+    recommendations.append(Recommendation(
+        "batch_schedule", "adaptive (start small, grow on plateau)",
+        "Small batches find the descent direction fast, large batches "
+        "finish precisely; adapting accelerates convergence ~1.5x "
+        "(§6.3.1, lesson 1)."))
+    recommendations.append(Recommendation(
+        "batch_selection", "random",
+        "Cluster-based selection shortens epochs but biases batches "
+        "and destabilizes training; random wins on accuracy (§6.3.2, "
+        "lesson 2)."))
+
+    # Sampling (§6.4, lessons 3-4): hybrid on skewed graphs.
+    if skewed:
+        recommendations.append(Recommendation(
+            "sampler", "hybrid",
+            f"Degree skew detected (gini={gini:.2f}): fixed fanouts "
+            "serve low- and high-degree vertices badly at once; use "
+            "fanout below the degree threshold and a rate above it "
+            "(§6.3.3-6.3.4, lessons 3-4)."))
+    else:
+        recommendations.append(Recommendation(
+            "sampler", "fanout",
+            f"Flat degree distribution (gini={gini:.2f}): a moderate "
+            "fixed fanout is adequate; rate sampling would starve "
+            "every vertex equally (§6.3.4)."))
+
+    # Transfer (§7.4, lessons 1-2): zero-copy, never hybrid.
+    recommendations.append(Recommendation(
+        "transfer", "zero-copy",
+        "GNN feature accesses are scattered; UVA direct access removes "
+        "the expensive extraction stage (§7.3.1, lesson 1).  Hybrid "
+        "block transfer does not help: sampled activity is too "
+        "fragmented, especially under caching (lesson 2)."))
+
+    # Cache (§7.4, lesson 4): the biggest lever; pick the policy by
+    # whether degree predicts access.
+    if gpu_memory_headroom > 0:
+        policy = "degree" if skewed else "presample"
+        extra = ("degree-based is adequate on power-law graphs and "
+                 "costs no pre-sampling pass"
+                 if skewed else
+                 "degree does not predict access on flat-degree "
+                 "graphs; pre-sampling measures the real frequency")
+        recommendations.append(Recommendation(
+            "cache_policy", policy,
+            f"GPU caching is the most significant transfer "
+            f"optimization — it removes traffic outright; {extra} "
+            f"(§7.3.3, lesson 4)."))
+
+    # Pipeline (§7.4, lesson 3): cheap to enable, bounded benefit.
+    recommendations.append(Recommendation(
+        "pipeline", "bp+dt",
+        "Pipelining overlaps all three stages; expect <50% gain since "
+        "data transfer dominates, but it is free to enable (§7.3.2, "
+        "lesson 3)."))
+    return AdviceReport(recommendations)

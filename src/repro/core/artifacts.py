@@ -1,0 +1,90 @@
+"""Run artifacts: persist training results as JSON.
+
+Benchmark campaigns produce many :class:`TrainingResult` objects; these
+helpers serialize the reproducible part of a result (configuration
+echo, curves, breakdowns) to JSON files, and load them back as plain
+dicts for offline comparison/plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import TrainingError
+
+__all__ = ["result_to_record", "save_result", "load_record",
+           "compare_records"]
+
+
+def _config_echo(config):
+    if config is None:
+        return {}
+    echo = {}
+    for key in ("model", "hidden_dim", "num_layers", "learning_rate",
+                "dropout", "num_workers", "pipeline", "cache_ratio",
+                "epochs", "seed"):
+        echo[key] = getattr(config, key)
+    # Component fields may be objects; store their printable identity.
+    for key in ("partitioner", "sampler", "transfer", "cache_policy",
+                "batch_size"):
+        value = getattr(config, key)
+        echo[key] = value if isinstance(
+            value, (str, int, float, type(None))) else repr(value)
+    echo["fanout"] = list(getattr(config, "fanout", ()))
+    return echo
+
+
+def result_to_record(result):
+    """A JSON-serializable dict capturing one training run."""
+    curve = result.curve
+    return {
+        "schema": "repro.training_result.v1",
+        "config": _config_echo(result.config),
+        "partition_method": result.partition_method,
+        "partition_seconds": result.partition_seconds,
+        "best_val_accuracy": result.best_val_accuracy,
+        "test_accuracy": result.test_accuracy,
+        "mean_epoch_seconds": result.mean_epoch_seconds,
+        "step_breakdown": result.step_breakdown(),
+        "curve": {
+            "val_accuracies": list(map(float, curve.val_accuracies)),
+            "losses": list(map(float, curve.losses)),
+            "epoch_seconds": list(map(float, curve.epoch_seconds)),
+            "batch_sizes": list(map(int, curve.batch_sizes)),
+        },
+    }
+
+
+def save_result(result, path):
+    """Write a result record to ``path`` (creates parent dirs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(result_to_record(result), handle, indent=2)
+    return path
+
+
+def load_record(path):
+    """Read a record written by :func:`save_result`."""
+    with open(path) as handle:
+        record = json.load(handle)
+    if record.get("schema") != "repro.training_result.v1":
+        raise TrainingError(f"{path} is not a repro training record")
+    return record
+
+
+def compare_records(records, metric="best_val_accuracy"):
+    """Rank records by a scalar metric (descending); returns
+    ``(label, value)`` pairs where the label names the partitioner and
+    batch size."""
+    rows = []
+    for record in records:
+        config = record.get("config", {})
+        label = (f"{record.get('partition_method', '?')}/"
+                 f"bs={config.get('batch_size', '?')}")
+        value = record.get(metric)
+        if value is None:
+            raise TrainingError(f"record lacks metric {metric!r}")
+        rows.append((label, float(value)))
+    return sorted(rows, key=lambda pair: -pair[1])

@@ -1,0 +1,242 @@
+"""The high-level trainer: one call runs the full simulated distributed
+training pipeline of Figure 1.
+
+``Trainer(dataset, config).run()``:
+
+1. partitions the graph (data partitioning step, timed);
+2. builds per-worker GPU caches if configured;
+3. trains with the synchronous engine epoch by epoch (batch
+   preparation, data transferring, NN computation — all metered);
+4. evaluates validation accuracy each epoch (real numpy inference) and
+   finally reports test accuracy at the best-validation checkpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dist.engine import SyncEngine
+from ..errors import TrainingError
+from ..nn import Adam, build_model
+from .config import TrainingConfig, make_cache
+from .convergence import TrainingCurve
+
+__all__ = ["Trainer", "TrainingResult", "evaluate_model"]
+
+
+def evaluate_model(model, dataset, vertex_ids, sampler, rng,
+                   batch_size=1024):
+    """Sample-based inference accuracy over ``vertex_ids``."""
+    vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+    if len(vertex_ids) == 0:
+        return 0.0
+    model.eval()
+    correct = 0
+    for start in range(0, len(vertex_ids), batch_size):
+        batch = vertex_ids[start:start + batch_size]
+        subgraph = sampler.sample(dataset.graph, batch, rng)
+        logits = model.forward(subgraph,
+                               dataset.features[subgraph.input_nodes])
+        predictions = logits.data.argmax(axis=-1)
+        correct += int((predictions
+                        == dataset.labels[subgraph.seeds]).sum())
+    model.train()
+    return correct / len(vertex_ids)
+
+
+@dataclass
+class TrainingResult:
+    """Everything a benchmark needs from one training run."""
+
+    curve: TrainingCurve
+    test_accuracy: float
+    partition_seconds: float
+    partition_method: str
+    epoch_stats: list = field(repr=False, default_factory=list)
+    config: TrainingConfig = None
+
+    @property
+    def best_val_accuracy(self):
+        return self.curve.best_accuracy
+
+    @property
+    def total_train_seconds(self):
+        """Total simulated training time (partitioning excluded, as in
+        the paper's Figure 6 which reports them separately)."""
+        return float(np.sum(self.curve.epoch_seconds))
+
+    @property
+    def mean_epoch_seconds(self):
+        return self.curve.mean_epoch_seconds
+
+    @property
+    def total_wall_seconds(self):
+        """Actually measured (not simulated) training wall time; Figure 6
+        compares this against the measured partitioning time."""
+        return float(np.sum(self.curve.wall_seconds))
+
+    def partitioning_time_share(self):
+        """Figure 6's quantity: partitioning time as a share of
+        partitioning + training, both wall-clock measured."""
+        total = self.partition_seconds + self.total_wall_seconds
+        return self.partition_seconds / total if total else 0.0
+
+    def step_breakdown(self):
+        """Average Figure 2-style step shares across epochs.
+
+        Data partitioning is excluded, exactly as in the paper ("its
+        runtime is ignorable" — a one-off preprocessing step); shares are
+        over the simulated batch-preparation / data-transferring / NN
+        times.
+        """
+        if not self.epoch_stats:
+            raise TrainingError("run() has not been called")
+        bp = sum(s.bp_seconds for s in self.epoch_stats)
+        dt = sum(s.dt_seconds for s in self.epoch_stats)
+        nn = sum(s.nn_seconds + s.allreduce_seconds
+                 for s in self.epoch_stats)
+        total = bp + dt + nn
+        return {
+            "batch_preparation": bp / total,
+            "data_transferring": dt / total,
+            "nn_computation": nn / total,
+        }
+
+    def involved_totals(self):
+        """Total vertices/edges involved per epoch (Table 6's columns),
+        averaged across epochs."""
+        vertices = np.mean([s.involved_vertices for s in self.epoch_stats])
+        edges = np.mean([s.involved_edges for s in self.epoch_stats])
+        return {"vertices": float(vertices), "edges": float(edges)}
+
+
+class Trainer:
+    """Runs one full configuration on one dataset."""
+
+    def __init__(self, dataset, config=None):
+        self.dataset = dataset
+        self.config = config or TrainingConfig()
+        if dataset.num_vertices < self.config.num_workers:
+            raise TrainingError("more workers than vertices")
+
+    def _build_engine(self):
+        config = self.config
+        dataset = self.dataset
+
+        partitioner = config.build_partitioner()
+        partition = partitioner.partition(
+            dataset.graph, config.num_workers, split=dataset.split,
+            rng=config.rng(salt=1))
+
+        sampler = config.build_sampler()
+        if config.replication_budget > 0:
+            from ..partition.replication import partition_aware_replication
+            partition = partition_aware_replication(
+                dataset, partition, sampler, config.replication_budget,
+                rng=config.rng(salt=42))
+        model = build_model(config.model, dataset.feature_dim,
+                            dataset.num_classes,
+                            num_layers=config.num_layers,
+                            hidden_dim=config.hidden_dim,
+                            rng=config.rng(salt=2),
+                            dropout=config.dropout)
+        optimizer = Adam(model.parameters(), lr=config.learning_rate)
+
+        caches = []
+        train_ids = dataset.train_ids
+        owners = partition.assignment[train_ids]
+        for part in range(config.num_workers):
+            caches.append(make_cache(
+                config.cache_policy, dataset, config.cache_ratio,
+                sampler=sampler, seeds=train_ids[owners == part],
+                rng=config.rng(salt=3 + part)))
+
+        engine = SyncEngine(
+            dataset, partition, sampler, model, optimizer,
+            spec=config.spec, transfer=config.build_transfer(),
+            caches=caches, pipeline_mode=config.pipeline,
+            hidden_dim=config.hidden_dim,
+            num_classes=dataset.num_classes)
+        return engine, partition, sampler, model
+
+    def _memory_batch_cap(self, sampler):
+        """Largest batch the simulated GPU fits (None = no cap).
+
+        Applies the paper's "batch prepared according to the GPU's
+        available memory" rule for fanout samplers, whose expansion the
+        memory model can predict.
+        """
+        from ..sampling import NeighborSampler
+        from ..transfer.memory import max_batch_size
+        if not self.config.enforce_gpu_memory:
+            return None
+        if not isinstance(sampler, NeighborSampler):
+            return None
+        cap = max_batch_size(
+            self.config.spec, sampler.fanout, self.dataset.feature_dim,
+            hidden_dim=self.config.hidden_dim,
+            num_classes=self.dataset.num_classes,
+            num_vertices=self.dataset.num_vertices)
+        if cap < 1:
+            raise TrainingError(
+                "even a single-seed batch exceeds the simulated GPU "
+                "memory; lower the fanout or feature width")
+        return cap
+
+    def run(self):
+        """Train to completion and return a :class:`TrainingResult`."""
+        config = self.config
+        engine, partition, sampler, model = self._build_engine()
+        schedule = config.build_schedule()
+        batch_cap = self._memory_batch_cap(sampler)
+        rng = config.rng(salt=100)
+        eval_rng_seed = config.seed * 7_777_777 + 13
+
+        curve = TrainingCurve()
+        epoch_stats = []
+        best_val = -1.0
+        best_state = None
+        stale = 0
+        for epoch in range(config.epochs):
+            batch_size = schedule.size(epoch)
+            if batch_cap is not None:
+                batch_size = min(batch_size, batch_cap)
+            wall_start = time.perf_counter()
+            stats = engine.run_epoch(batch_size, rng)
+            wall = time.perf_counter() - wall_start
+            epoch_stats.append(stats)
+
+            if epoch % config.eval_every == 0 or epoch == config.epochs - 1:
+                val_acc = evaluate_model(
+                    model, self.dataset, self.dataset.val_ids, sampler,
+                    np.random.default_rng(eval_rng_seed))
+            else:
+                val_acc = curve.val_accuracies[-1] if curve.num_epochs \
+                    else 0.0
+            schedule.observe(epoch, val_acc)
+            curve.record(val_acc, stats.loss, stats.epoch_seconds, wall,
+                         batch_size)
+
+            if val_acc > best_val:
+                best_val = val_acc
+                best_state = model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+                if (config.early_stop_patience
+                        and stale >= config.early_stop_patience):
+                    break
+
+        if best_state is not None:
+            model.load_state_dict(best_state)
+        test_acc = evaluate_model(
+            model, self.dataset, self.dataset.test_ids, sampler,
+            np.random.default_rng(eval_rng_seed + 1))
+        return TrainingResult(
+            curve=curve, test_accuracy=test_acc,
+            partition_seconds=partition.seconds,
+            partition_method=partition.method,
+            epoch_stats=epoch_stats, config=config)

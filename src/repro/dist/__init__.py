@@ -1,0 +1,10 @@
+"""Simulated distributed runtime: workers, communication, sync engine."""
+
+from .comm import CommMeter
+from .engine import EpochStats, SyncEngine
+from .fullbatch import (FullBatchEngine, FullGraphGCN,
+                        full_aggregation_matrix)
+from .worker import BatchWork, Worker
+
+__all__ = ["CommMeter", "Worker", "BatchWork", "SyncEngine", "EpochStats",
+           "FullBatchEngine", "FullGraphGCN", "full_aggregation_matrix"]

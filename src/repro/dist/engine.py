@@ -1,0 +1,275 @@
+"""Synchronous data-parallel training engine over the simulated cluster.
+
+One *step* of synchronous distributed mini-batch training: every worker
+samples a batch from its own training vertices, computes gradients on the
+shared model (data-parallel replicas are mathematically one model), the
+gradients are averaged (all-reduce), and the optimizer steps.  The engine
+performs that math for real (numpy autograd) while metering every byte
+that would have crossed the network or PCIe, then converts counts to a
+simulated epoch time:
+
+    epoch = max over workers of pipeline(BP, DT, NN batches)
+            + all-reduce time per step
+
+Remote work accounting per batch:
+
+* sampled vertices whose owner is another machine -> a remote sampling
+  request; the returned sub-adjacency counts as network bytes,
+* input features not owned/replicated locally -> network bytes,
+* features not in the worker's GPU cache -> PCIe bytes (via the
+  configured transfer method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..nn import softmax_cross_entropy
+from ..partition.workload import BYTES_PER_EDGE
+from ..transfer.hardware import estimate_flops
+from ..transfer.methods import BatchStats
+from ..transfer.pipeline import simulate_pipeline
+from .comm import CommMeter
+from .worker import BatchWork, Worker
+
+__all__ = ["SyncEngine", "EpochStats"]
+
+
+@dataclass
+class EpochStats:
+    """Everything measured during one training epoch."""
+
+    loss: float
+    epoch_seconds: float           # simulated wall time of the epoch
+    bp_seconds: float              # summed batch-preparation time
+    dt_seconds: float              # summed CPU->GPU transfer time
+    nn_seconds: float              # summed NN computation time
+    allreduce_seconds: float
+    num_steps: int
+    involved_vertices: int         # total vertex slots in sampled blocks
+    involved_edges: int            # total aggregation edges
+    remote_feature_bytes: int
+    batch_size: int
+
+    def breakdown(self):
+        """Step shares of the (sequential) work — Figure 2's quantities."""
+        total = (self.bp_seconds + self.dt_seconds + self.nn_seconds
+                 + self.allreduce_seconds)
+        if total == 0:
+            return {"batch_preparation": 0.0, "data_transferring": 0.0,
+                    "nn_computation": 0.0}
+        return {
+            "batch_preparation": self.bp_seconds / total,
+            "data_transferring": self.dt_seconds / total,
+            "nn_computation": (self.nn_seconds
+                               + self.allreduce_seconds) / total,
+        }
+
+
+class SyncEngine:
+    """Drives synchronous distributed mini-batch training.
+
+    Parameters
+    ----------
+    dataset:
+        :class:`~repro.graph.datasets.Dataset`.
+    partition:
+        :class:`~repro.partition.base.PartitionResult` defining worker
+        ownership (and replication).
+    sampler:
+        Batch-preparation sampler.
+    model, optimizer:
+        The shared model and its optimizer.
+    spec:
+        :class:`~repro.transfer.hardware.HardwareSpec` cost model.
+    transfer:
+        :class:`~repro.transfer.methods.TransferMethod` for CPU->GPU.
+    caches:
+        Optional list of per-worker GPU caches (parallel to workers).
+    pipeline_mode:
+        "none", "bp", or "bp+dt" (§7.3.2).
+    hidden_dim, num_classes:
+        Model dimensions for the FLOPs estimate.
+    """
+
+    def __init__(self, dataset, partition, sampler, model, optimizer,
+                 spec, transfer, caches=None, pipeline_mode="bp+dt",
+                 hidden_dim=128, num_classes=None):
+        self.dataset = dataset
+        self.partition = partition
+        self.sampler = sampler
+        self.model = model
+        self.optimizer = optimizer
+        self.spec = spec
+        self.transfer = transfer
+        self.pipeline_mode = pipeline_mode
+        self.hidden_dim = hidden_dim
+        self.num_classes = (num_classes if num_classes is not None
+                            else dataset.num_classes)
+        self.comm = CommMeter(partition.num_parts)
+
+        train_ids = dataset.train_ids
+        owners = partition.assignment[train_ids]
+        caches = caches or [None] * partition.num_parts
+        if len(caches) != partition.num_parts:
+            raise TrainingError("need one cache slot per worker")
+        self.workers = [
+            Worker(worker_id=p, train_ids=train_ids[owners == p],
+                   cache=caches[p])
+            for p in range(partition.num_parts)
+        ]
+        self._grad_bytes = sum(p.data.size for p in model.parameters()) * 4
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _batch_work(self, worker, subgraph):
+        """Meter one sampled batch on ``worker`` and return its
+        :class:`BatchWork`."""
+        part = worker.worker_id
+        assignment = self.partition.assignment
+        feat_bytes = (self.dataset.feature_dim
+                      * self.dataset.features.itemsize)
+
+        # Remote sampling requests: expansions of vertices stored
+        # elsewhere; the sampled sub-adjacency comes back over the wire.
+        remote_edges = 0
+        remote_requests = 0
+        for block in subgraph.blocks:
+            local = self.partition.is_local(part, block.dst_nodes)
+            remote_dst = block.dst_nodes[~local]
+            if len(remote_dst):
+                remote_requests += len(remote_dst)
+                returned = int(block.degrees()[~local].sum())
+                remote_edges += returned
+                for owner in np.unique(assignment[remote_dst]):
+                    self.comm.record(owner, part,
+                                     returned * BYTES_PER_EDGE, messages=1)
+
+        # Remote feature fetches (network), deduplicated per batch.
+        inputs = subgraph.input_nodes
+        remote_inputs = inputs[~self.partition.is_local(part, inputs)]
+        remote_feat_bytes = len(remote_inputs) * feat_bytes
+        if len(remote_inputs):
+            for owner in np.unique(assignment[remote_inputs]):
+                count = int((assignment[remote_inputs] == owner).sum())
+                self.comm.record(owner, part, count * feat_bytes,
+                                 messages=1)
+
+        network_bytes = remote_feat_bytes + remote_edges * BYTES_PER_EDGE
+        network_msgs = remote_requests // 64 + (2 if remote_feat_bytes else 0)
+        bp = (self.spec.sample_time(subgraph.total_edges)
+              + self.spec.network_time(network_bytes,
+                                       messages=network_msgs))
+
+        stats = BatchStats.from_subgraph(subgraph, self.dataset)
+        dt = self.transfer.transfer(stats, self.spec,
+                                    cache=worker.cache).total_seconds
+
+        flops = estimate_flops(subgraph, self.dataset.feature_dim,
+                               self.hidden_dim, self.num_classes)
+        nn = self.spec.compute_time(flops)
+
+        return BatchWork(
+            seeds=len(subgraph.seeds),
+            sampled_edges=subgraph.total_edges,
+            input_vertices=len(inputs),
+            remote_feature_bytes=remote_feat_bytes,
+            remote_sample_requests=remote_requests,
+            bp_seconds=bp, dt_seconds=dt, nn_seconds=nn)
+
+    def _allreduce_seconds(self):
+        """Ring all-reduce of the gradient vector across workers."""
+        k = self.partition.num_parts
+        if k == 1:
+            return 0.0
+        volume = 2.0 * (k - 1) / k * self._grad_bytes
+        return self.spec.network_time(volume, messages=2 * (k - 1))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def run_epoch(self, batch_size, rng, selector=None):
+        """One synchronous epoch; returns :class:`EpochStats`.
+
+        ``selector`` optionally overrides each worker's batch formation
+        (e.g. cluster-based selection); it is applied per worker to the
+        worker's own training vertices.
+        """
+        graph = self.dataset.graph
+        labels = self.dataset.labels
+        features = self.dataset.features
+
+        per_worker_batches = []
+        for worker in self.workers:
+            if worker.num_train == 0:
+                per_worker_batches.append([])
+                continue
+            if selector is None:
+                batches = worker.epoch_batches(batch_size, rng)
+            else:
+                batches = list(selector.batches(worker.train_ids,
+                                                batch_size, rng))
+            per_worker_batches.append(batches)
+
+        num_steps = max((len(b) for b in per_worker_batches), default=0)
+        if num_steps == 0:
+            raise TrainingError("epoch with zero batches")
+
+        self.model.train()
+        losses = []
+        batches_this_epoch = [0] * len(self.workers)
+        for step in range(num_steps):
+            active = [(w, per_worker_batches[w.worker_id][step])
+                      for w in self.workers
+                      if step < len(per_worker_batches[w.worker_id])]
+            self.optimizer.zero_grad()
+            step_loss = 0.0
+            for worker, seeds in active:
+                subgraph = self.sampler.sample(graph, seeds, rng)
+                worker.log(self._batch_work(worker, subgraph))
+                batches_this_epoch[worker.worker_id] += 1
+                logits = self.model.forward(
+                    subgraph, features[subgraph.input_nodes])
+                loss = softmax_cross_entropy(logits,
+                                             labels[subgraph.seeds])
+                # Average gradients across the step's active workers.
+                (loss * (1.0 / len(active))).backward()
+                step_loss += loss.item() / len(active)
+            self.optimizer.step()
+            losses.append(step_loss)
+
+        # Simulated epoch time: slowest worker's pipelined makespan plus
+        # the synchronous all-reduce per step.
+        makespans = []
+        bp = dt = nn = 0.0
+        vertices = edges = remote_bytes = 0
+        for worker, count in zip(self.workers, batches_this_epoch):
+            if count == 0:
+                continue
+            stage_times = worker.epoch_stage_times(count)
+            makespans.append(simulate_pipeline(
+                stage_times, self.pipeline_mode).makespan)
+            recent = worker.work_log[-count:]
+            bp += sum(w.bp_seconds for w in recent)
+            dt += sum(w.dt_seconds for w in recent)
+            nn += sum(w.nn_seconds for w in recent)
+            vertices += sum(w.input_vertices for w in recent)
+            edges += sum(w.sampled_edges for w in recent)
+            remote_bytes += sum(w.remote_feature_bytes for w in recent)
+        allreduce = self._allreduce_seconds() * num_steps
+        epoch_seconds = max(makespans) + allreduce
+
+        return EpochStats(
+            loss=float(np.mean(losses)),
+            epoch_seconds=epoch_seconds,
+            bp_seconds=bp, dt_seconds=dt, nn_seconds=nn,
+            allreduce_seconds=allreduce,
+            num_steps=num_steps,
+            involved_vertices=vertices,
+            involved_edges=edges,
+            remote_feature_bytes=remote_bytes,
+            batch_size=batch_size)

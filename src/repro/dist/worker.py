@@ -1,0 +1,71 @@
+"""A logical training worker (one machine of the simulated cluster).
+
+A worker owns a slice of the training vertices (decided by the
+partitioner), an optional GPU feature cache, and produces the per-batch
+counts the cost model turns into time.  Model math itself is shared —
+synchronous data-parallel SGD keeps one logical parameter copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TrainingError
+
+__all__ = ["Worker", "BatchWork"]
+
+
+@dataclass
+class BatchWork:
+    """Counts and simulated stage times of one worker-batch."""
+
+    seeds: int
+    sampled_edges: int
+    input_vertices: int
+    remote_feature_bytes: int
+    remote_sample_requests: int
+    bp_seconds: float
+    dt_seconds: float
+    nn_seconds: float
+
+    @property
+    def stage_times(self):
+        return (self.bp_seconds, self.dt_seconds, self.nn_seconds)
+
+
+@dataclass
+class Worker:
+    """One machine: its identity, owned training vertices, and cache."""
+
+    worker_id: int
+    train_ids: np.ndarray
+    cache: object = None           # GPUCache or None
+    batches_done: int = 0
+    work_log: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        self.train_ids = np.asarray(self.train_ids, dtype=np.int64)
+
+    @property
+    def num_train(self):
+        return len(self.train_ids)
+
+    def epoch_batches(self, batch_size, rng):
+        """This epoch's seed batches over the worker's own vertices."""
+        if batch_size < 1:
+            raise TrainingError(
+                f"batch_size must be >= 1, got {batch_size}")
+        order = rng.permutation(self.train_ids)
+        return [order[start:start + batch_size]
+                for start in range(0, len(order), batch_size)]
+
+    def log(self, work):
+        """Record one batch's accounting."""
+        self.work_log.append(work)
+        self.batches_done += 1
+
+    def epoch_stage_times(self, last_n):
+        """Stage-time triples of the most recent ``last_n`` batches."""
+        return [w.stage_times for w in self.work_log[-last_n:]]

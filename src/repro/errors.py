@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised on purpose by the library derive from :class:`ReproError`
+so callers can catch library failures with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is structurally invalid or an operation on a
+    graph receives inconsistent inputs (bad CSR arrays, out-of-range
+    vertex ids, mismatched array lengths)."""
+
+
+class PartitionError(ReproError):
+    """Raised when a partitioning request cannot be satisfied (e.g. more
+    partitions than vertices, or a constraint matrix with the wrong
+    shape)."""
+
+
+class SamplingError(ReproError):
+    """Raised for invalid sampling configurations (negative fanout,
+    sampling rate outside (0, 1], empty seed sets where forbidden)."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training configuration is inconsistent (e.g. model
+    dimensions not matching the dataset, zero batches)."""
+
+
+class TransferError(ReproError):
+    """Raised for invalid transfer/cache configurations (negative
+    bandwidth, cache larger than feature store, unknown method name)."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset name is unknown or its construction
+    parameters are inconsistent."""

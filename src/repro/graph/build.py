@@ -1,0 +1,102 @@
+"""Constructing :class:`~repro.graph.csr.CSRGraph` objects from edge lists.
+
+These helpers are the only sanctioned way to turn raw ``(src, dst)`` pairs
+into graphs: they sort, deduplicate, optionally symmetrize, and emit clean
+CSR arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+__all__ = ["from_edges", "symmetrize", "remove_self_loops", "relabel"]
+
+
+def from_edges(src, dst, num_vertices, symmetrize_edges=False,
+               dedup=True, drop_self_loops=True):
+    """Build a :class:`CSRGraph` from parallel ``src``/``dst`` arrays.
+
+    Parameters
+    ----------
+    src, dst:
+        Integer arrays of equal length with vertex ids in
+        ``[0, num_vertices)``.
+    num_vertices:
+        Total vertex count ``n`` (isolated vertices allowed).
+    symmetrize_edges:
+        Also add every reverse edge and mark the graph symmetric.
+    dedup:
+        Remove duplicate edges.
+    drop_self_loops:
+        Remove edges with ``src == dst``.
+    """
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if len(src) != len(dst):
+        raise GraphError(
+            f"src and dst lengths differ: {len(src)} vs {len(dst)}")
+    n = int(num_vertices)
+    if len(src):
+        lo = min(src.min(), dst.min())
+        hi = max(src.max(), dst.max())
+        if lo < 0 or hi >= n:
+            raise GraphError(
+                f"edge endpoint out of range [0, {n}): saw [{lo}, {hi}]")
+
+    if drop_self_loops and len(src):
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    if symmetrize_edges and len(src):
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+
+    if len(src):
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        if dedup:
+            keep = np.concatenate(
+                ([True], (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])))
+            src, dst = src[keep], dst[keep]
+
+    counts = np.bincount(src, minlength=n) if len(src) else np.zeros(
+        n, dtype=np.int64)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return CSRGraph(indptr, dst, num_vertices=n,
+                    is_symmetric=symmetrize_edges, validate=False)
+
+
+def symmetrize(graph):
+    """Return the undirected version of ``graph`` (edges in both
+    directions, deduplicated)."""
+    if graph.is_symmetric:
+        return graph
+    src, dst = graph.edges()
+    return from_edges(src, dst, graph.num_vertices, symmetrize_edges=True)
+
+
+def remove_self_loops(graph):
+    """Return a copy of ``graph`` with self-loop edges removed."""
+    src, dst = graph.edges()
+    keep = src != dst
+    return from_edges(src[keep], dst[keep], graph.num_vertices,
+                      symmetrize_edges=False, dedup=False,
+                      drop_self_loops=False)
+
+
+def relabel(graph, permutation):
+    """Relabel vertices: new id of old vertex ``v`` is ``permutation[v]``.
+
+    ``permutation`` must be a permutation of ``0..n-1``; raises
+    :class:`GraphError` otherwise.
+    """
+    perm = np.asarray(permutation, dtype=np.int64)
+    n = graph.num_vertices
+    if len(perm) != n or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise GraphError("permutation must be a permutation of 0..n-1")
+    src, dst = graph.edges()
+    rebuilt = from_edges(perm[src], perm[dst], n, dedup=False,
+                         drop_self_loops=False)
+    rebuilt.is_symmetric = graph.is_symmetric
+    return rebuilt

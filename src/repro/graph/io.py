@@ -1,0 +1,160 @@
+"""Saving/loading graphs and datasets, and bring-your-own-data
+ingestion.
+
+Besides the ``.npz`` round-trip used by the test-suite, this module is
+the door for real data: :func:`load_edge_list` parses the ubiquitous
+whitespace-separated edge-list text format (SNAP/KONECT downloads), and
+:func:`dataset_from_arrays` wraps any graph + feature/label arrays as a
+:class:`Dataset`, so every experiment in the library runs unchanged on
+user-supplied graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError, GraphError
+from .build import from_edges
+from .csr import CSRGraph
+from .datasets import DATASET_SPECS, Dataset, DatasetSpec
+from .splits import Split, split_vertices
+
+__all__ = ["save_graph", "load_graph", "save_dataset",
+           "load_dataset_file", "load_edge_list", "dataset_from_arrays"]
+
+
+def load_edge_list(path, symmetrize_edges=True, comment_chars="#%"):
+    """Parse a whitespace-separated edge-list text file into a graph.
+
+    The format SNAP and KONECT dumps use: one ``src dst`` pair per
+    line, ``#``/``%`` comment lines ignored, vertex ids arbitrary
+    non-negative integers (compacted to ``0..n-1``).
+
+    Returns ``(graph, original_ids)`` where ``original_ids[i]`` is the
+    file's id of compacted vertex ``i``.
+    """
+    sources, destinations = [], []
+    with open(path) as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped[0] in comment_chars:
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphError(
+                    f"{path}: malformed edge line {stripped!r}")
+            sources.append(int(parts[0]))
+            destinations.append(int(parts[1]))
+    if not sources:
+        raise GraphError(f"{path} contains no edges")
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(destinations, dtype=np.int64)
+    original_ids = np.unique(np.concatenate([src, dst]))
+    lookup = {int(v): i for i, v in enumerate(original_ids)}
+    src = np.fromiter((lookup[int(v)] for v in src), dtype=np.int64,
+                      count=len(src))
+    dst = np.fromiter((lookup[int(v)] for v in dst), dtype=np.int64,
+                      count=len(dst))
+    graph = from_edges(src, dst, len(original_ids),
+                       symmetrize_edges=symmetrize_edges)
+    return graph, original_ids
+
+
+def dataset_from_arrays(graph, features, labels, num_classes=None,
+                        name="custom", split=None, rng=None,
+                        communities=None):
+    """Wrap a graph plus feature/label arrays as a full
+    :class:`Dataset`, ready for every experiment in the library.
+
+    Parameters
+    ----------
+    graph:
+        :class:`CSRGraph` (e.g. from :func:`load_edge_list`).
+    features:
+        ``(n, F)`` float array.
+    labels:
+        ``(n,)`` integer class labels.
+    num_classes:
+        Defaults to ``labels.max() + 1``.
+    split:
+        Optional :class:`~repro.graph.splits.Split`; defaults to the
+        paper's 65:10:25 random split.
+    """
+    features = np.ascontiguousarray(features, dtype=np.float32)
+    labels = np.ascontiguousarray(labels, dtype=np.int64)
+    n = graph.num_vertices
+    if features.ndim != 2 or len(features) != n:
+        raise DatasetError(
+            f"features must be (n, F) with n={n}, got {features.shape}")
+    if labels.shape != (n,):
+        raise DatasetError(
+            f"labels must be (n,) with n={n}, got {labels.shape}")
+    if labels.min(initial=0) < 0:
+        raise DatasetError("labels must be non-negative class ids")
+    num_classes = int(num_classes if num_classes is not None
+                      else labels.max(initial=0) + 1)
+    if split is None:
+        split = split_vertices(
+            n, rng if rng is not None else np.random.default_rng(0))
+    split.validate()
+    spec = DatasetSpec(
+        name=name, kind="user-provided", paper_vertices=str(n),
+        paper_edges=str(graph.num_edges),
+        feature_dim=features.shape[1], num_classes=num_classes,
+        num_vertices=n, avg_degree=graph.num_edges / max(n, 1),
+        power_law=False, labeled=True)
+    return Dataset(spec=spec, graph=graph, features=features,
+                   labels=labels, split=split, communities=communities)
+
+
+def save_graph(graph, path):
+    """Write a :class:`CSRGraph` to ``path`` as a compressed npz archive."""
+    np.savez_compressed(
+        path, indptr=graph.indptr, indices=graph.indices,
+        num_vertices=np.int64(graph.num_vertices),
+        is_symmetric=np.bool_(graph.is_symmetric))
+
+
+def load_graph(path):
+    """Read a :class:`CSRGraph` previously written by :func:`save_graph`."""
+    with np.load(path) as data:
+        try:
+            return CSRGraph(data["indptr"], data["indices"],
+                            num_vertices=int(data["num_vertices"]),
+                            is_symmetric=bool(data["is_symmetric"]))
+        except KeyError as exc:
+            raise GraphError(f"{path} is not a saved graph: missing {exc}")
+
+
+def save_dataset(dataset, path):
+    """Write a full :class:`Dataset` (graph + features + labels + split)."""
+    np.savez_compressed(
+        path,
+        name=np.str_(dataset.spec.name),
+        indptr=dataset.graph.indptr, indices=dataset.graph.indices,
+        num_vertices=np.int64(dataset.graph.num_vertices),
+        is_symmetric=np.bool_(dataset.graph.is_symmetric),
+        features=dataset.features, labels=dataset.labels,
+        train_mask=dataset.split.train_mask,
+        val_mask=dataset.split.val_mask,
+        test_mask=dataset.split.test_mask,
+        communities=(dataset.communities if dataset.communities is not None
+                     else np.zeros(0, dtype=np.int64)))
+
+
+def load_dataset_file(path):
+    """Read a :class:`Dataset` previously written by :func:`save_dataset`."""
+    with np.load(path) as data:
+        name = str(data["name"])
+        if name not in DATASET_SPECS:
+            raise GraphError(f"{path} references unknown dataset {name!r}")
+        graph = CSRGraph(data["indptr"], data["indices"],
+                         num_vertices=int(data["num_vertices"]),
+                         is_symmetric=bool(data["is_symmetric"]))
+        split = Split(data["train_mask"], data["val_mask"],
+                      data["test_mask"])
+        communities = data["communities"]
+        return Dataset(
+            spec=DATASET_SPECS[name], graph=graph,
+            features=data["features"], labels=data["labels"], split=split,
+            communities=communities if len(communities) else None)

@@ -1,0 +1,73 @@
+"""Train/validation/test vertex splits.
+
+The paper splits every dataset 65:10:25 (train:val:test); that ratio is the
+default here.  Splits are represented as three boolean masks over vertex
+ids; exactly one mask is true for every vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = ["Split", "split_vertices"]
+
+DEFAULT_RATIOS = (0.65, 0.10, 0.25)
+
+
+@dataclass(frozen=True)
+class Split:
+    """Boolean masks selecting train/val/test vertices."""
+
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+
+    @property
+    def train_ids(self):
+        return np.flatnonzero(self.train_mask)
+
+    @property
+    def val_ids(self):
+        return np.flatnonzero(self.val_mask)
+
+    @property
+    def test_ids(self):
+        return np.flatnonzero(self.test_mask)
+
+    @property
+    def num_vertices(self):
+        return len(self.train_mask)
+
+    def validate(self):
+        """Raise :class:`DatasetError` unless the masks partition 0..n-1."""
+        total = (self.train_mask.astype(int) + self.val_mask.astype(int)
+                 + self.test_mask.astype(int))
+        if not np.all(total == 1):
+            raise DatasetError("split masks must partition the vertex set")
+
+
+def split_vertices(num_vertices, rng, ratios=DEFAULT_RATIOS):
+    """Randomly split ``0..n-1`` into train/val/test by ``ratios``.
+
+    Ratios must be positive and sum to 1 (within fp tolerance); the split
+    is exact up to rounding, with the remainder assigned to test.
+    """
+    if len(ratios) != 3 or any(r <= 0 for r in ratios):
+        raise DatasetError(f"need three positive ratios, got {ratios}")
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise DatasetError(f"ratios must sum to 1, got {sum(ratios)}")
+    n = int(num_vertices)
+    order = rng.permutation(n)
+    n_train = int(round(n * ratios[0]))
+    n_val = int(round(n * ratios[1]))
+    train_mask = np.zeros(n, dtype=bool)
+    val_mask = np.zeros(n, dtype=bool)
+    test_mask = np.zeros(n, dtype=bool)
+    train_mask[order[:n_train]] = True
+    val_mask[order[n_train:n_train + n_val]] = True
+    test_mask[order[n_train + n_val:]] = True
+    return Split(train_mask, val_mask, test_mask)

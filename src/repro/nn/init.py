@@ -1,0 +1,22 @@
+"""Parameter initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["xavier_uniform", "zeros"]
+
+
+def xavier_uniform(fan_in, fan_out, rng):
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out)
+    weight matrix."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    data = rng.uniform(-bound, bound, size=(fan_in, fan_out))
+    return Tensor(data.astype(np.float32), requires_grad=True)
+
+
+def zeros(*shape):
+    """Zero-initialized trainable tensor (biases)."""
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=True)

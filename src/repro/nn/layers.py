@@ -1,0 +1,359 @@
+"""Neural network modules: Linear, MLP, GCN and GraphSAGE convolutions.
+
+Graph convolutions operate on *sampled blocks*: each layer receives the
+block's normalized aggregation matrix (``num_dst x num_src`` scipy CSR)
+plus the source features, and produces destination features.  Because
+block sources always start with the destinations (MFG convention), a
+layer can read its destinations' own features as ``h_src[:num_dst]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import TrainingError
+from .init import xavier_uniform, zeros
+from .tensor import Tensor
+
+__all__ = ["Module", "Linear", "Dropout", "MLP", "GCNConv", "SAGEConv",
+           "GATConv", "GCN", "GraphSAGE", "GAT",
+           "block_aggregation_matrix", "build_model"]
+
+
+class Module:
+    """Base class: parameter collection and train/eval mode."""
+
+    def __init__(self):
+        self.training = True
+
+    def parameters(self):
+        """All trainable tensors of this module and its children."""
+        params = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        params.append(item)
+        return params
+
+    def zero_grad(self):
+        """Clear the gradients of all parameters."""
+        for param in self.parameters():
+            param.grad = None
+
+    def train(self):
+        """Switch this module (and children) to training mode."""
+        self._set_mode(True)
+
+    def eval(self):
+        """Switch this module (and children) to inference mode."""
+        self._set_mode(False)
+
+    def _set_mode(self, training):
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def num_parameters(self):
+        """Total scalar parameter count."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def state_dict(self):
+        """Flat copy of all parameter arrays (for checkpoint tests)."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state):
+        """Restore parameters saved by :meth:`state_dict`."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise TrainingError("state_dict length mismatch")
+        for param, saved in zip(params, state):
+            if param.data.shape != saved.shape:
+                raise TrainingError("state_dict shape mismatch")
+            param.data = saved.copy()
+
+
+class Linear(Module):
+    """Affine layer ``x @ W + b``."""
+
+    def __init__(self, in_dim, out_dim, rng, bias=True):
+        super().__init__()
+        self.weight = xavier_uniform(in_dim, out_dim, rng)
+        self.bias = zeros(out_dim) if bias else None
+
+    def forward(self, x):
+        """Affine transform of the input rows."""
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p, rng):
+        super().__init__()
+        self.p = float(p)
+        self.rng = rng
+
+    def forward(self, x):
+        """Randomly zero entries (training mode only)."""
+        return x.dropout(self.p, self.rng, training=self.training)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU between layers."""
+
+    def __init__(self, dims, rng, dropout=0.0):
+        super().__init__()
+        if len(dims) < 2:
+            raise TrainingError("MLP needs at least input and output dims")
+        self.layers = [Linear(dims[i], dims[i + 1], rng)
+                       for i in range(len(dims) - 1)]
+        self.dropout = Dropout(dropout, rng) if dropout else None
+
+    def forward(self, x):
+        """Apply the layer stack with ReLU (+dropout) in between."""
+        for i, layer in enumerate(self.layers):
+            x = layer.forward(x)
+            if i < len(self.layers) - 1:
+                x = x.relu()
+                if self.dropout is not None:
+                    x = self.dropout.forward(x)
+        return x
+
+
+def block_aggregation_matrix(block, self_loops=True):
+    """The block's normalized aggregation operator as scipy CSR.
+
+    Mean aggregation over sampled in-neighbors (plus the vertex itself
+    when ``self_loops``), i.e. each row sums to 1 — the standard
+    normalization for GCN-style layers on sampled blocks.
+    """
+    rows = np.repeat(np.arange(block.num_dst), block.degrees())
+    cols = block.indices
+    if self_loops:
+        rows = np.concatenate([rows, np.arange(block.num_dst)])
+        cols = np.concatenate([cols, np.arange(block.num_dst)])
+    data = np.ones(len(rows), dtype=np.float32)
+    matrix = sp.csr_matrix((data, (rows, cols)),
+                           shape=(block.num_dst, block.num_src))
+    degree = np.asarray(matrix.sum(axis=1)).ravel()
+    degree[degree == 0] = 1.0
+    scale = sp.diags((1.0 / degree).astype(np.float32))
+    return (scale @ matrix).tocsr()
+
+
+class GCNConv(Module):
+    """GCN layer on a sampled block: ``h_dst = agg(h_src) @ W + b`` with
+    mean normalization including self-loops (Kipf & Welling adapted to
+    MFGs)."""
+
+    def __init__(self, in_dim, out_dim, rng):
+        super().__init__()
+        self.weight = xavier_uniform(in_dim, out_dim, rng)
+        self.bias = zeros(out_dim)
+
+    def forward(self, adjacency, h_src):
+        """Aggregate sources with ``adjacency`` then transform."""
+        aggregated = h_src.spmm(adjacency)
+        return aggregated @ self.weight + self.bias
+
+    def forward_block(self, block, h_src):
+        """Run the layer on a sampled block (self-loops included)."""
+        return self.forward(block_aggregation_matrix(block,
+                                                     self_loops=True),
+                            h_src)
+
+
+class SAGEConv(Module):
+    """GraphSAGE layer: ``h_dst = h_self @ W_self + mean(h_neigh) @ W_neigh
+    + b`` (the "mean" aggregator of Hamilton et al.).
+
+    ``normalize=True`` applies the original paper's per-row L2
+    normalization to the output, which stabilizes training on noisy
+    features.
+    """
+
+    def __init__(self, in_dim, out_dim, rng, normalize=False):
+        super().__init__()
+        self.weight_self = xavier_uniform(in_dim, out_dim, rng)
+        self.weight_neigh = xavier_uniform(in_dim, out_dim, rng)
+        self.bias = zeros(out_dim)
+        self.normalize = bool(normalize)
+
+    def forward(self, adjacency, h_src):
+        """Combine each destination's own features with its
+        mean-aggregated neighbors."""
+        num_dst = adjacency.shape[0]
+        h_self = h_src.gather_rows(np.arange(num_dst))
+        aggregated = h_src.spmm(adjacency)
+        out = (h_self @ self.weight_self
+               + aggregated @ self.weight_neigh + self.bias)
+        if self.normalize:
+            out = out.l2_normalize_rows()
+        return out
+
+    def forward_block(self, block, h_src):
+        """Run the layer on a sampled block (no self-loops in the
+        aggregation; the self path is explicit)."""
+        return self.forward(block_aggregation_matrix(block,
+                                                     self_loops=False),
+                            h_src)
+
+
+class GATConv(Module):
+    """Graph attention layer (Veličković et al.) on a sampled block.
+
+    Per edge ``u -> v``: score ``e = LeakyReLU(a_src . Wh_u +
+    a_dst . Wh_v)``; attention coefficients are the per-destination
+    softmax over scores (self-loop included); the output is the
+    attention-weighted sum of transformed sources.  ``heads`` attention
+    heads run independently and concatenate.
+    """
+
+    def __init__(self, in_dim, out_dim, rng, heads=1,
+                 negative_slope=0.2):
+        super().__init__()
+        if heads < 1 or out_dim % heads:
+            raise TrainingError(
+                f"out_dim {out_dim} must split evenly over {heads} heads")
+        self.heads = int(heads)
+        self.head_dim = out_dim // self.heads
+        self.negative_slope = float(negative_slope)
+        self.weights = [xavier_uniform(in_dim, self.head_dim, rng)
+                        for _head in range(self.heads)]
+        self.attn_src = [xavier_uniform(self.head_dim, 1, rng)
+                         for _head in range(self.heads)]
+        self.attn_dst = [xavier_uniform(self.head_dim, 1, rng)
+                         for _head in range(self.heads)]
+        self.bias = zeros(out_dim)
+
+    @staticmethod
+    def _block_edges_with_self_loops(block):
+        """Edge lists in local ids, dst-side self-loops appended."""
+        edge_dst = np.repeat(np.arange(block.num_dst), block.degrees())
+        edge_src = block.indices
+        loops = np.arange(block.num_dst)
+        return (np.concatenate([edge_dst, loops]),
+                np.concatenate([edge_src, loops]))
+
+    def forward_block(self, block, h_src):
+        """Attention-weighted aggregation over the block's edges."""
+        edge_dst, edge_src = self._block_edges_with_self_loops(block)
+        outputs = []
+        for weight, a_src, a_dst in zip(self.weights, self.attn_src,
+                                        self.attn_dst):
+            transformed = h_src @ weight              # (S, d_head)
+            score_src = (transformed @ a_src)         # (S, 1)
+            score_dst = (transformed @ a_dst)
+            scores = (score_src.gather_rows(edge_src)
+                      + score_dst.gather_rows(edge_dst))
+            alpha = scores.reshape(-1).leaky_relu(
+                self.negative_slope).segment_softmax(
+                    edge_dst, num_segments=block.num_dst)
+            outputs.append(Tensor.edge_aggregate(
+                transformed, alpha, edge_dst, edge_src, block.num_dst))
+        out = outputs[0]
+        for extra in outputs[1:]:
+            out = out.concat(extra, axis=1)
+        return out + self.bias
+
+
+class _GNNBase(Module):
+    """Shared stacking logic for block-based GNN models.
+
+    Architecture (mirrors the paper's setup): L graph convolutions with
+    hidden width 128, ReLU + dropout between them, followed by an MLP
+    classifier head.
+    """
+
+    conv_cls = None
+    self_loops = True
+
+    def __init__(self, in_dim, hidden_dim, num_classes, num_layers, rng,
+                 dropout=0.1, mlp_hidden=None):
+        super().__init__()
+        if num_layers < 1:
+            raise TrainingError("need at least one GNN layer")
+        dims = [in_dim] + [hidden_dim] * num_layers
+        self.convs = [self.conv_cls(dims[i], dims[i + 1], rng)
+                      for i in range(num_layers)]
+        head_dims = ([hidden_dim, mlp_hidden, num_classes]
+                     if mlp_hidden else [hidden_dim, num_classes])
+        self.head = MLP(head_dims, rng, dropout=0.0)
+        self.dropout = Dropout(dropout, rng)
+        self.num_layers = num_layers
+
+    def embed(self, subgraph, features):
+        """Seed-vertex embeddings (the conv stack without the
+        classification head) — used directly by link prediction and
+        other embedding-consuming tasks."""
+        if len(subgraph.blocks) != self.num_layers:
+            raise TrainingError(
+                f"model has {self.num_layers} layers but subgraph has "
+                f"{len(subgraph.blocks)} blocks")
+        h = features if isinstance(features, Tensor) else Tensor(features)
+        for i, (conv, block) in enumerate(zip(self.convs, subgraph.blocks)):
+            h = conv.forward_block(block, h)
+            h = h.relu()
+            if i < len(self.convs) - 1:
+                h = self.dropout.forward(h)
+        return h
+
+    def forward(self, subgraph, features):
+        """Run the model over a :class:`SampledSubgraph`.
+
+        ``features`` must be the raw feature rows of
+        ``subgraph.input_nodes`` (a numpy array or Tensor).
+        """
+        return self.head.forward(self.embed(subgraph, features))
+
+
+class GCN(_GNNBase):
+    """The paper's GCN: L GCNConv layers + MLP head (hidden dim 128)."""
+
+    conv_cls = GCNConv
+    self_loops = True
+
+
+class GraphSAGE(_GNNBase):
+    """The paper's GraphSAGE: L SAGEConv layers + MLP head."""
+
+    conv_cls = SAGEConv
+    self_loops = False
+
+
+class GAT(_GNNBase):
+    """Graph attention network: L GATConv layers + MLP head (the model
+    the paper cites for vertex classification alongside GCN)."""
+
+    conv_cls = GATConv
+    self_loops = True
+
+
+def build_model(name, in_dim, num_classes, num_layers=2, hidden_dim=128,
+                rng=None, dropout=0.1):
+    """Factory for the supported models ("gcn", "graphsage", "gat")."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    models = {"gcn": GCN, "graphsage": GraphSAGE, "sage": GraphSAGE,
+              "gat": GAT}
+    key = name.lower()
+    if key not in models:
+        raise TrainingError(
+            f"unknown model {name!r}; known: gcn, graphsage, gat")
+    return models[key](in_dim, hidden_dim, num_classes, num_layers, rng,
+                       dropout=dropout)

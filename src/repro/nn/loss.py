@@ -1,0 +1,119 @@
+"""Losses and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+from .tensor import Tensor
+
+__all__ = ["softmax_cross_entropy", "accuracy", "softmax",
+           "binary_cross_entropy_with_logits", "sigmoid", "roc_auc"]
+
+
+def softmax(logits):
+    """Numerically stable softmax over the last axis (plain numpy)."""
+    logits = np.asarray(logits)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(logits, labels):
+    """Mean softmax cross-entropy as a scalar :class:`Tensor`.
+
+    Fused op: the backward rule is the classic ``(softmax - onehot) / n``,
+    avoiding a separate log-softmax node.
+    """
+    if not isinstance(logits, Tensor):
+        logits = Tensor(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2 or len(labels) != logits.shape[0]:
+        raise TrainingError(
+            f"logits {logits.shape} and labels {labels.shape} mismatch")
+    probs = softmax(logits.data)
+    n = len(labels)
+    picked = np.clip(probs[np.arange(n), labels], 1e-12, None)
+    value = float(-np.log(picked).mean())
+
+    def backward(grad):
+        if logits.requires_grad:
+            delta = probs.copy()
+            delta[np.arange(n), labels] -= 1.0
+            logits._accumulate(grad * delta / n)
+
+    return Tensor._result(np.asarray(value, dtype=np.float32),
+                          (logits,), backward)
+
+
+def sigmoid(values):
+    """Numerically stable logistic function (plain numpy)."""
+    values = np.asarray(values, dtype=np.float64)
+    out = np.empty_like(values)
+    positive = values >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-values[positive]))
+    exp = np.exp(values[~positive])
+    out[~positive] = exp / (1.0 + exp)
+    return out
+
+
+def binary_cross_entropy_with_logits(logits, targets):
+    """Mean binary cross-entropy over logits, as a scalar
+    :class:`Tensor` (link prediction's loss).
+
+    Fused and stable: ``loss = mean(max(z, 0) - z*y + log1p(exp(-|z|)))``
+    with backward ``(sigmoid(z) - y) / n``.
+    """
+    if not isinstance(logits, Tensor):
+        logits = Tensor(logits)
+    targets = np.asarray(targets, dtype=np.float64)
+    if logits.data.shape != targets.shape:
+        raise TrainingError(
+            f"logits {logits.data.shape} and targets {targets.shape} "
+            f"mismatch")
+    z = logits.data.astype(np.float64)
+    value = float(np.mean(np.maximum(z, 0) - z * targets
+                          + np.log1p(np.exp(-np.abs(z)))))
+    n = max(targets.size, 1)
+
+    def backward(grad):
+        if logits.requires_grad:
+            logits._accumulate(grad * (sigmoid(z) - targets) / n)
+
+    return Tensor._result(np.asarray(value, dtype=np.float32),
+                          (logits,), backward)
+
+
+def roc_auc(scores, labels):
+    """Area under the ROC curve via the rank statistic (plain numpy).
+
+    Returns 0.5 when either class is absent.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel().astype(bool)
+    num_pos = int(labels.sum())
+    num_neg = len(labels) - num_pos
+    if num_pos == 0 or num_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    start = 0
+    for i in range(1, len(scores) + 1):
+        if i == len(scores) or sorted_scores[i] != sorted_scores[start]:
+            ranks[order[start:i]] = 0.5 * (start + 1 + i)
+            start = i
+    positive_rank_sum = ranks[labels].sum()
+    u_statistic = positive_rank_sum - num_pos * (num_pos + 1) / 2.0
+    return float(u_statistic / (num_pos * num_neg))
+
+
+def accuracy(logits, labels):
+    """Fraction of rows whose argmax matches the label."""
+    logits = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    labels = np.asarray(labels)
+    if len(labels) == 0:
+        return 0.0
+    return float((logits.argmax(axis=-1) == labels).mean())

@@ -1,0 +1,485 @@
+"""A minimal reverse-mode autograd engine over numpy arrays.
+
+Only what GNN training needs: dense matmul, sparse aggregation (SpMM),
+elementwise arithmetic, ReLU, dropout, row gather/concat, and a fused
+softmax-cross-entropy loss.  A :class:`Tensor` wraps an ndarray plus an
+optional gradient; operations record a backward closure and their parent
+tensors, and :meth:`Tensor.backward` replays the tape in reverse
+topological order.
+
+The engine is deliberately small and explicit — every op's backward rule
+is a few lines of numpy, which lets the test suite verify all of them
+against numerical differentiation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+
+__all__ = ["Tensor"]
+
+
+def _unbroadcast(grad, shape):
+    """Sum ``grad`` down to ``shape`` (reverses numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dims added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """An ndarray with an autograd tape.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar) holding the value; stored as float32 unless
+        already floating.
+    requires_grad:
+        Track gradients through this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(self, data, requires_grad=False, _parents=(),
+                 _backward=None):
+        array = np.asarray(data)
+        if not np.issubdtype(array.dtype, np.floating):
+            array = array.astype(np.float32)
+        self.data = array
+        self.grad = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = tuple(_parents)
+        self._backward = _backward
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        flag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+    def item(self):
+        """The scalar value of a one-element tensor."""
+        return float(self.data)
+
+    def numpy(self):
+        """The underlying ndarray (no copy)."""
+        return self.data
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad):
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype),
+                            self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad=None):
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalars; non-scalar roots must pass an
+        explicit output gradient.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise TrainingError(
+                    "backward() without grad only allowed on scalars")
+            grad = np.ones_like(self.data)
+        # Topological order via iterative DFS.
+        order, visited, stack = [], set(), [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    @staticmethod
+    def _result(data, parents, backward):
+        needs = any(p.requires_grad for p in parents)
+        return Tensor(data, requires_grad=needs,
+                      _parents=[p for p in parents if p.requires_grad],
+                      _backward=backward if needs else None)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return self._result(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._result(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __mul__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return self._result(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def matmul(self, other):
+        """Dense matrix product ``self @ other``."""
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
+
+        return self._result(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def relu(self):
+        """Elementwise max(x, 0)."""
+        mask = self.data > 0
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._result(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, negative_slope=0.2):
+        """LeakyReLU (GAT's attention nonlinearity)."""
+        slope = float(negative_slope)
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, slope).astype(self.data.dtype)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * scale)
+
+        return self._result(self.data * scale, (self,), backward)
+
+    def dropout(self, p, rng, training=True):
+        """Inverted dropout with keep-prob scaling."""
+        if not 0.0 <= p < 1.0:
+            raise TrainingError(f"dropout p must be in [0, 1), got {p}")
+        if not training or p == 0.0:
+            return self
+        keep = (rng.random(self.data.shape) >= p) / (1.0 - p)
+        keep = keep.astype(self.data.dtype)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * keep)
+
+        return self._result(self.data * keep, (self,), backward)
+
+    def gather_rows(self, index):
+        """Select rows: ``out = self[index]`` with scatter-add backward."""
+        index = np.asarray(index, dtype=np.int64)
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return self._result(self.data[index], (self,), backward)
+
+    def concat(self, other, axis=1):
+        """Concatenate two tensors along ``axis``."""
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        split = self.data.shape[axis]
+
+        def backward(grad):
+            first, second = np.split(grad, [split], axis=axis)
+            if self.requires_grad:
+                self._accumulate(first)
+            if other.requires_grad:
+                other._accumulate(second)
+
+        return self._result(np.concatenate([self.data, other.data],
+                                           axis=axis),
+                            (self, other), backward)
+
+    def spmm(self, matrix):
+        """Sparse aggregation ``matrix @ self`` with a fixed (non-grad)
+        scipy sparse ``matrix``; backward multiplies by its transpose."""
+        transpose = matrix.T.tocsr()
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(transpose @ grad)
+
+        return self._result(matrix @ self.data, (self,), backward)
+
+    def __truediv__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data
+                                  / (other.data * other.data))
+
+        return self._result(self.data / other.data, (self, other),
+                            backward)
+
+    def exp(self):
+        """Elementwise exponential."""
+        value = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * value)
+
+        return self._result(value, (self,), backward)
+
+    def log(self):
+        """Elementwise natural logarithm (inputs must be positive)."""
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._result(np.log(self.data), (self,), backward)
+
+    def tanh(self):
+        """Elementwise hyperbolic tangent."""
+        value = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - value * value))
+
+        return self._result(value, (self,), backward)
+
+    def pow(self, exponent):
+        """Elementwise power with a constant exponent."""
+        exponent = float(exponent)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(
+                    grad * exponent * self.data ** (exponent - 1.0))
+
+        return self._result(self.data ** exponent, (self,), backward)
+
+    def l2_normalize_rows(self, eps=1e-8):
+        """Scale each row to unit L2 norm (GraphSAGE's embedding
+        normalization)."""
+        norms = np.sqrt((self.data * self.data).sum(axis=1,
+                                                    keepdims=True))
+        safe = np.maximum(norms, eps)
+        value = self.data / safe
+
+        def backward(grad):
+            if self.requires_grad:
+                # d(x / ||x||) = (g - x * <g, x> / ||x||^2) / ||x||
+                inner = (grad * self.data).sum(axis=1, keepdims=True)
+                self._accumulate((grad - self.data * inner
+                                  / (safe * safe)) / safe)
+
+        return self._result(value, (self,), backward)
+
+    def reshape(self, *shape):
+        """View with a new shape (same element count); gradient
+        reshapes back."""
+        original = self.data.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return self._result(self.data.reshape(*shape), (self,), backward)
+
+    def segment_softmax(self, segments, num_segments=None):
+        """Softmax over groups of a 1-D tensor: entries sharing a
+        segment id normalize together (GAT's per-destination attention
+        normalization).
+
+        ``segments`` need not be sorted; any grouping works.
+        """
+        if self.data.ndim != 1:
+            raise TrainingError("segment_softmax expects a 1-D tensor")
+        segments = np.asarray(segments, dtype=np.int64)
+        if len(segments) != len(self.data):
+            raise TrainingError("segments must align with the tensor")
+        count = int(num_segments if num_segments is not None
+                    else (segments.max() + 1 if len(segments) else 0))
+        # Per-segment max for numerical stability.
+        seg_max = np.full(count, -np.inf, dtype=np.float64)
+        np.maximum.at(seg_max, segments, self.data)
+        shifted = self.data - seg_max[segments]
+        exp = np.exp(shifted)
+        seg_sum = np.zeros(count, dtype=np.float64)
+        np.add.at(seg_sum, segments, exp)
+        seg_sum[seg_sum == 0] = 1.0
+        probs = (exp / seg_sum[segments]).astype(self.data.dtype)
+
+        def backward(grad):
+            if self.requires_grad:
+                # dx = p * (g - sum_segment(g * p))
+                weighted = grad * probs
+                seg_dot = np.zeros(count, dtype=np.float64)
+                np.add.at(seg_dot, segments, weighted)
+                self._accumulate(probs * (grad - seg_dot[segments]))
+
+        return self._result(probs, (self,), backward)
+
+    @staticmethod
+    def edge_aggregate(sources, weights, edge_dst, edge_src, num_dst):
+        """Weighted scatter aggregation over edges:
+        ``out[d] = sum over edges e with dst d of weights[e] *
+        sources[edge_src[e]]`` — GAT's attention-weighted message
+        passing, differentiable in both the source features and the
+        per-edge weights.
+        """
+        edge_dst = np.asarray(edge_dst, dtype=np.int64)
+        edge_src = np.asarray(edge_src, dtype=np.int64)
+        if weights.data.ndim != 1 or len(weights.data) != len(edge_dst) \
+                or len(edge_dst) != len(edge_src):
+            raise TrainingError("edge arrays and weights must align")
+        gathered = sources.data[edge_src]
+        contribution = weights.data[:, None] * gathered
+        out = np.zeros((num_dst, sources.data.shape[1]),
+                       dtype=sources.data.dtype)
+        np.add.at(out, edge_dst, contribution)
+
+        def backward(grad):
+            per_edge_grad = grad[edge_dst]
+            if sources.requires_grad:
+                routed = np.zeros_like(sources.data)
+                np.add.at(routed, edge_src,
+                          weights.data[:, None] * per_edge_grad)
+                sources._accumulate(routed)
+            if weights.requires_grad:
+                weights._accumulate(
+                    (per_edge_grad * gathered).sum(axis=1))
+
+        return Tensor._result(out, (sources, weights), backward)
+
+    def mask_rows(self, keep_index, replacement):
+        """Keep rows ``keep_index`` from this tensor; take every other
+        row from the constant ``replacement`` array.
+
+        Gradient flows only through the kept rows — the op that models
+        bounded-staleness training (stale remote rows are constants).
+        """
+        keep_index = np.asarray(keep_index, dtype=np.int64)
+        replacement = np.asarray(replacement, dtype=self.data.dtype)
+        if replacement.shape != self.data.shape:
+            raise TrainingError(
+                f"replacement shape {replacement.shape} does not match "
+                f"tensor shape {self.data.shape}")
+        out = replacement.copy()
+        out[keep_index] = self.data[keep_index]
+
+        def backward(grad):
+            if self.requires_grad:
+                routed = np.zeros_like(self.data)
+                routed[keep_index] = grad[keep_index]
+                self._accumulate(routed)
+
+        return self._result(out, (self,), backward)
+
+    @staticmethod
+    def assemble_rows(pieces, index_arrays, total_rows):
+        """Assemble a matrix from row pieces: ``out[index_arrays[i]] =
+        pieces[i]``.
+
+        The index arrays must partition ``0..total_rows-1``; gradients
+        route back to each piece's rows.
+        """
+        if len(pieces) != len(index_arrays) or not pieces:
+            raise TrainingError("pieces and index_arrays must align")
+        index_arrays = [np.asarray(ix, dtype=np.int64)
+                        for ix in index_arrays]
+        covered = np.concatenate(index_arrays)
+        if (len(covered) != total_rows
+                or not np.array_equal(np.sort(covered),
+                                      np.arange(total_rows))):
+            raise TrainingError(
+                "index arrays must partition the output rows")
+        width = pieces[0].data.shape[1]
+        out = np.empty((total_rows, width), dtype=pieces[0].data.dtype)
+        for piece, index in zip(pieces, index_arrays):
+            if piece.data.shape != (len(index), width):
+                raise TrainingError("piece shape does not match indices")
+            out[index] = piece.data
+
+        def backward(grad):
+            for piece, index in zip(pieces, index_arrays):
+                if piece.requires_grad:
+                    piece._accumulate(grad[index])
+
+        return Tensor._result(out, tuple(pieces), backward)
+
+    def sum(self):
+        """Sum of all elements (scalar tensor)."""
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.full_like(self.data, grad))
+
+        return self._result(self.data.sum(), (self,), backward)
+
+    def mean(self):
+        """Mean of all elements (scalar tensor)."""
+        count = self.data.size
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.full_like(self.data, grad / count))
+
+        return self._result(self.data.mean(), (self,), backward)

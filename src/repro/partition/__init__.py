@@ -1,0 +1,40 @@
+"""Data partitioning: methods, quality metrics, workload accounting."""
+
+from .base import PartitionResult, Partitioner, check_num_parts
+from .hashing import HashPartitioner, hash_vertices
+from .metis import MetisPartitioner, metis_clusters, metis_partition
+from .quality import (balance_ratio, clustering_coefficient_variance,
+                      edge_cut, edge_cut_fraction, partition_subgraphs,
+                      quality_report)
+from .replication import (partition_aware_replication,
+                          remote_access_frequencies)
+from .streaming import (StreamBPartitioner, StreamVPartitioner,
+                        build_bfs_blocks, l_hop_neighborhood)
+from .workload import (BYTES_PER_EDGE, MachineWorkload, WorkloadReport,
+                       measure_workload)
+
+__all__ = [
+    "PartitionResult", "Partitioner", "check_num_parts",
+    "HashPartitioner", "hash_vertices",
+    "MetisPartitioner", "metis_partition", "metis_clusters",
+    "StreamVPartitioner", "StreamBPartitioner", "l_hop_neighborhood",
+    "build_bfs_blocks",
+    "edge_cut", "edge_cut_fraction", "balance_ratio", "partition_subgraphs",
+    "clustering_coefficient_variance", "quality_report",
+    "MachineWorkload", "WorkloadReport", "measure_workload",
+    "BYTES_PER_EDGE",
+    "partition_aware_replication", "remote_access_frequencies",
+    "all_partitioners",
+]
+
+
+def all_partitioners(hops=2):
+    """The paper's six evaluated methods (Table 3), ready to run."""
+    return [
+        HashPartitioner(),
+        MetisPartitioner("v"),
+        MetisPartitioner("ve"),
+        MetisPartitioner("vet"),
+        StreamVPartitioner(hops=hops),
+        StreamBPartitioner(),
+    ]

@@ -1,0 +1,62 @@
+"""Hash partitioning (the P3 baseline).
+
+P3 randomly assigns vertices to machines with equal probability, which
+balances computation and communication (goals 2 and 4) but ignores all
+vertex dependencies, so total communication is maximal (§5.3).  We also
+provide edge hashing (NeuGraph/DistGNN-style) for completeness; vertex
+ownership is then derived by majority vote over incident edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from .base import PartitionResult, Partitioner
+
+__all__ = ["HashPartitioner", "hash_vertices"]
+
+
+def hash_vertices(num_vertices, num_parts, rng):
+    """Balanced random vertex assignment: a random permutation dealt
+    round-robin, so part sizes differ by at most one vertex."""
+    order = rng.permutation(num_vertices)
+    assignment = np.empty(num_vertices, dtype=np.int64)
+    assignment[order] = np.arange(num_vertices) % num_parts
+    return assignment
+
+
+class HashPartitioner(Partitioner):
+    """Random hash partitioning by vertex or by edge.
+
+    Parameters
+    ----------
+    by:
+        ``"vertex"`` (P3, AGL, NeutronStar, ...) assigns vertices
+        uniformly at random.  ``"edge"`` (NeuGraph, DistGNN, Sancus)
+        assigns edges uniformly and derives vertex ownership as the
+        partition holding the most of the vertex's edges.
+    """
+
+    def __init__(self, by="vertex"):
+        if by not in ("vertex", "edge"):
+            raise PartitionError(f"by must be 'vertex' or 'edge', got {by!r}")
+        self.by = by
+        self.name = "hash" if by == "vertex" else "hash-edge"
+
+    def _partition(self, graph, num_parts, split, rng):
+        n = graph.num_vertices
+        if self.by == "vertex":
+            assignment = hash_vertices(n, num_parts, rng)
+        else:
+            src, _ = graph.edges()
+            edge_parts = rng.integers(0, num_parts, size=graph.num_edges)
+            # Vertex owner = partition with most of its out-edges; isolated
+            # vertices fall back to random assignment.
+            votes = np.zeros((n, num_parts), dtype=np.int64)
+            np.add.at(votes, (src, edge_parts), 1)
+            assignment = votes.argmax(axis=1)
+            isolated = graph.out_degrees == 0
+            assignment[isolated] = rng.integers(
+                0, num_parts, size=int(isolated.sum()))
+        return PartitionResult(assignment, num_parts, self.name)

@@ -1,0 +1,378 @@
+"""A multilevel, multi-constraint graph partitioner ("Metis-extend").
+
+This is our from-scratch stand-in for METIS [Karypis & Kumar 1998] plus
+the constraint extensions the paper calls *Metis-extend* (§5.2): the
+partitioner minimizes edge cut while keeping *every column* of a vertex
+weight matrix balanced across partitions.  The three paper variants are
+thin wrappers choosing the constraint columns:
+
+* **Metis-V**  — balance training-vertex counts (DistDGL's core idea);
+* **Metis-VE** — additionally balance vertex degrees (edge counts);
+* **Metis-VET** — additionally balance validation/test vertex counts
+  (SALIENT++).
+
+The classic three phases are implemented directly:
+
+1. *Coarsening* by heavy-edge matching, accumulating edge weights and
+   constraint vectors, until the graph is small;
+2. *Initial partitioning* of the coarsest graph by greedy streaming
+   assignment in BFS order (maximize connectivity to the target part,
+   subject to capacity);
+3. *Uncoarsening with refinement*: project the assignment up one level at
+   a time and run boundary Fiduccia–Mattheyses passes — move a boundary
+   vertex to the neighboring part with the largest positive cut gain
+   whose capacities all still hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import PartitionError
+from .base import PartitionResult, Partitioner
+
+__all__ = ["metis_partition", "MetisPartitioner", "metis_clusters"]
+
+
+def _weighted_adjacency(graph):
+    """The graph as a symmetric weighted scipy CSR matrix (weight 1 per
+    edge, symmetrized so matching sees every neighbor)."""
+    n = graph.num_vertices
+    data = np.ones(graph.num_edges, dtype=np.float64)
+    adj = sp.csr_matrix((data, graph.indices.astype(np.int32),
+                         graph.indptr.astype(np.int64)), shape=(n, n))
+    if not graph.is_symmetric:
+        adj = adj.maximum(adj.T)
+    adj.setdiag(0)
+    adj.eliminate_zeros()
+    return adj
+
+
+def _heavy_edge_matching(adj, rng):
+    """Greedy heavy-edge matching.
+
+    Returns ``cmap`` (coarse id per fine vertex) and the coarse vertex
+    count.  Unmatched vertices map to their own coarse vertex.
+    """
+    n = adj.shape[0]
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    for v in order:
+        if match[v] != -1:
+            continue
+        best, best_w = -1, 0.0
+        for idx in range(indptr[v], indptr[v + 1]):
+            u = indices[idx]
+            if match[u] == -1 and u != v and data[idx] > best_w:
+                best, best_w = u, data[idx]
+        if best == -1:
+            match[v] = v
+        else:
+            match[v] = best
+            match[best] = v
+
+    cmap = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if cmap[v] != -1:
+            continue
+        cmap[v] = next_id
+        partner = match[v]
+        if partner != v and cmap[partner] == -1:
+            cmap[partner] = next_id
+        next_id += 1
+    return cmap, next_id
+
+
+def _contract(adj, weights, cmap, num_coarse):
+    """Contract matched pairs: sum adjacency weights and constraint rows."""
+    coo = adj.tocoo()
+    coarse = sp.csr_matrix(
+        (coo.data, (cmap[coo.row], cmap[coo.col])),
+        shape=(num_coarse, num_coarse))
+    coarse.setdiag(0)
+    coarse.eliminate_zeros()
+    coarse_weights = np.zeros((num_coarse, weights.shape[1]))
+    np.add.at(coarse_weights, cmap, weights)
+    return coarse, coarse_weights
+
+
+def _bfs_order(adj, rng):
+    """Vertices in BFS order from a random start (covers all components)."""
+    n = adj.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    order = []
+    queue = []
+    for start in rng.permutation(n):
+        if seen[start]:
+            continue
+        queue.append(start)
+        seen[start] = True
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            for u in adj.indices[adj.indptr[v]:adj.indptr[v + 1]]:
+                if not seen[u]:
+                    seen[u] = True
+                    queue.append(u)
+    return np.array(order, dtype=np.int64)
+
+
+def _capacities(weights, num_parts, imbalance):
+    """Per-part capacity for each constraint column, with slack for the
+    largest single vertex so assignment can never deadlock."""
+    totals = weights.sum(axis=0)
+    biggest = weights.max(axis=0) if len(weights) else totals
+    return (1.0 + imbalance) * totals / num_parts + biggest
+
+
+def _initial_partition(adj, weights, num_parts, caps, rng):
+    """Greedy streaming assignment of the coarsest graph in BFS order."""
+    n = adj.shape[0]
+    assignment = np.full(n, -1, dtype=np.int64)
+    loads = np.zeros((num_parts, weights.shape[1]))
+    for v in _bfs_order(adj, rng):
+        row = slice(adj.indptr[v], adj.indptr[v + 1])
+        neighbors = adj.indices[row]
+        edge_w = adj.data[row]
+        conn = np.zeros(num_parts)
+        assigned = assignment[neighbors] >= 0
+        if assigned.any():
+            np.add.at(conn, assignment[neighbors[assigned]],
+                      edge_w[assigned])
+        fits = np.all(loads + weights[v] <= caps, axis=1)
+        load_ratio = (loads / caps).max(axis=1)
+        if not fits.any():
+            # All parts nominally full: pick the least-loaded one.
+            candidate = int(load_ratio.argmin())
+        else:
+            # LDG-style multiplicative penalty: connectivity matters, but
+            # a nearly-full part is strongly discouraged.
+            score = (conn + 1e-3) * (1.0 - load_ratio)
+            score[~fits] = -np.inf
+            candidate = int(score.argmax())
+        assignment[v] = candidate
+        loads[candidate] += weights[v]
+    return assignment, loads
+
+
+def _refine(adj, weights, assignment, num_parts, caps, rng, passes):
+    """Boundary FM refinement: greedy positive-gain moves under all
+    capacity constraints."""
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    loads = np.zeros((num_parts, weights.shape[1]))
+    np.add.at(loads, assignment, weights)
+    for _pass in range(passes):
+        moved = 0
+        for v in rng.permutation(adj.shape[0]):
+            row = slice(indptr[v], indptr[v + 1])
+            neighbors = indices[row]
+            if len(neighbors) == 0:
+                continue
+            cur = assignment[v]
+            parts = assignment[neighbors]
+            if np.all(parts == cur):
+                continue  # interior vertex
+            conn = np.zeros(num_parts)
+            np.add.at(conn, parts, data[row])
+            gain = conn - conn[cur]
+            gain[cur] = -np.inf
+            # Capacity check for every candidate part.
+            fits = np.all(loads + weights[v] <= caps, axis=1)
+            gain[~fits] = -np.inf
+            target = int(gain.argmax())
+            if gain[target] > 0:
+                assignment[v] = target
+                loads[cur] -= weights[v]
+                loads[target] += weights[v]
+                moved += 1
+        if moved == 0:
+            break
+    _balance_pass(adj, weights, assignment, num_parts, caps, rng)
+    return assignment
+
+
+def _balance_pass(adj, weights, assignment, num_parts, caps, rng,
+                  floor_ratio=0.85, max_moves_factor=0.25):
+    """Pull vertices into under-loaded parts, one constraint at a time.
+
+    FM refinement only makes cut-improving moves, so a part left starved
+    by the initial assignment stays starved.  For every constraint column
+    this pass moves vertices carrying that constraint's weight from
+    over-loaded parts into any part below ``floor_ratio`` of the average,
+    choosing, among sampled candidates, the vertex with the smallest cut
+    damage.  Enforcing *every* column is what makes Metis-VE/VET pay for
+    their extra constraints with a higher edge cut, as the paper observes
+    (§5.3.2).
+    """
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    loads = np.zeros((num_parts, weights.shape[1]))
+    np.add.at(loads, assignment, weights)
+    avg = weights.sum(axis=0) / num_parts
+    max_moves = int(max_moves_factor * adj.shape[0]) + 1
+    for column in range(weights.shape[1]):
+        if avg[column] <= 0:
+            continue
+        for _move in range(max_moves):
+            col_load = loads[:, column]
+            needy = int(col_load.argmin())
+            if col_load[needy] >= floor_ratio * avg[column]:
+                break
+            donors = np.flatnonzero(col_load > avg[column])
+            if len(donors) == 0:
+                break
+            carries = weights[:, column] > 0
+            candidates = np.flatnonzero(
+                np.isin(assignment, donors) & carries)
+            if len(candidates) == 0:
+                break
+            sample = candidates if len(candidates) <= 256 else rng.choice(
+                candidates, size=256, replace=False)
+            best_v, best_score = -1, np.inf
+            for v in sample:
+                row = slice(indptr[v], indptr[v + 1])
+                parts = assignment[indices[row]]
+                conn_needy = data[row][parts == needy].sum()
+                conn_cur = data[row][parts == assignment[v]].sum()
+                # Cut damage per unit of constraint weight moved.
+                score = (conn_cur - conn_needy) / weights[v, column]
+                if score < best_score:
+                    best_v, best_score = int(v), score
+            if best_v == -1:
+                break
+            loads[assignment[best_v]] -= weights[best_v]
+            loads[needy] += weights[best_v]
+            assignment[best_v] = needy
+
+
+def metis_partition(graph, num_parts, constraints=None, rng=None,
+                    imbalance=0.1, coarsen_to=None, refine_passes=3):
+    """Multilevel multi-constraint partitioning.
+
+    Parameters
+    ----------
+    graph:
+        :class:`~repro.graph.csr.CSRGraph`.
+    num_parts:
+        Number of parts ``k``.
+    constraints:
+        ``(n, c)`` non-negative weight matrix to balance.  A unit
+        vertex-count column is always prepended, so ``None`` balances
+        vertex counts only.
+    rng:
+        :class:`numpy.random.Generator` (default: seeded fresh).
+    imbalance:
+        Allowed relative imbalance ``epsilon`` per constraint.
+    coarsen_to:
+        Stop coarsening below this many vertices
+        (default ``max(128, 16 * num_parts)``).
+    refine_passes:
+        FM passes per uncoarsening level.
+
+    Returns
+    -------
+    ``int64 (n,)`` assignment array.
+    """
+    n = graph.num_vertices
+    if rng is None:
+        rng = np.random.default_rng(0)
+    unit = np.ones((n, 1))
+    if constraints is None:
+        weights = unit
+    else:
+        constraints = np.asarray(constraints, dtype=np.float64)
+        if constraints.ndim == 1:
+            constraints = constraints[:, None]
+        if constraints.shape[0] != n or np.any(constraints < 0):
+            raise PartitionError(
+                "constraints must be a non-negative (n, c) matrix")
+        weights = np.hstack([unit, constraints])
+    if coarsen_to is None:
+        coarsen_to = max(128, 16 * num_parts)
+
+    # Phase 1: coarsen.
+    adj = _weighted_adjacency(graph)
+    levels = []  # (adjacency, cmap) pairs, finest first
+    cur_adj, cur_weights = adj, weights
+    while cur_adj.shape[0] > coarsen_to:
+        cmap, num_coarse = _heavy_edge_matching(cur_adj, rng)
+        if num_coarse >= cur_adj.shape[0] * 0.95:
+            break  # matching stalled (e.g. near-empty graph)
+        levels.append((cur_adj, cmap))
+        cur_adj, cur_weights = _contract(cur_adj, cur_weights, cmap,
+                                         num_coarse)
+
+    # Phase 2: initial partition of the coarsest graph.
+    caps_coarse = _capacities(cur_weights, num_parts, imbalance)
+    assignment, _ = _initial_partition(cur_adj, cur_weights, num_parts,
+                                       caps_coarse, rng)
+    assignment = _refine(cur_adj, cur_weights, assignment, num_parts,
+                         caps_coarse, rng, refine_passes)
+
+    # Phase 3: uncoarsen + refine, finest last.  weight_stack[i] holds the
+    # constraint matrix of level i (finest first).
+    weight_stack = [weights]
+    for fine_adj, cmap in levels:
+        num_coarse = cmap.max() + 1 if len(cmap) else 0
+        coarse_w = np.zeros((num_coarse, weights.shape[1]))
+        np.add.at(coarse_w, cmap, weight_stack[-1])
+        weight_stack.append(coarse_w)
+    for (fine_adj, cmap), fine_w in zip(reversed(levels),
+                                        reversed(weight_stack[:-1])):
+        assignment = assignment[cmap]
+        caps = _capacities(fine_w, num_parts, imbalance)
+        assignment = _refine(fine_adj, fine_w, assignment, num_parts, caps,
+                             rng, refine_passes)
+    return assignment
+
+
+def metis_clusters(graph, num_clusters, rng=None):
+    """Cluster the graph into ``num_clusters`` dense pieces (used by
+    cluster-based batch selection, §6.3.2).  Pure min-cut clustering, no
+    extra constraints."""
+    return metis_partition(graph, num_clusters, rng=rng, imbalance=0.3)
+
+
+class MetisPartitioner(Partitioner):
+    """Metis-extend partitioning with the paper's constraint presets.
+
+    Parameters
+    ----------
+    variant:
+        ``"v"`` (balance train vertices), ``"ve"`` (train vertices +
+        degrees), or ``"vet"`` (train/val/test vertices + degrees).
+    imbalance:
+        Allowed relative imbalance per constraint.
+    """
+
+    VARIANTS = ("v", "ve", "vet")
+
+    def __init__(self, variant="ve", imbalance=0.1, refine_passes=3):
+        if variant not in self.VARIANTS:
+            raise PartitionError(
+                f"variant must be one of {self.VARIANTS}, got {variant!r}")
+        self.variant = variant
+        self.imbalance = imbalance
+        self.refine_passes = refine_passes
+        self.name = f"metis-{variant}"
+
+    def _constraints(self, graph, split):
+        if split is None:
+            raise PartitionError(
+                f"{self.name} needs a train/val/test split to balance")
+        columns = [split.train_mask.astype(np.float64)]
+        if self.variant in ("ve", "vet"):
+            columns.append(graph.out_degrees.astype(np.float64))
+        if self.variant == "vet":
+            columns.append(split.val_mask.astype(np.float64))
+            columns.append(split.test_mask.astype(np.float64))
+        return np.column_stack(columns)
+
+    def _partition(self, graph, num_parts, split, rng):
+        constraints = self._constraints(graph, split)
+        assignment = metis_partition(
+            graph, num_parts, constraints=constraints, rng=rng,
+            imbalance=self.imbalance, refine_passes=self.refine_passes)
+        return PartitionResult(assignment, num_parts, self.name)

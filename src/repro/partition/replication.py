@@ -1,0 +1,95 @@
+"""Partition-aware feature replication (SALIENT++'s caching idea).
+
+SALIENT++ reduces distributed feature traffic by letting every machine
+cache the *remote* vertices its own training workload requests most
+often — measured, like GNNLab's GPU cache, by pre-sampling.  Here that
+becomes a transformation on a :class:`PartitionResult`: given a
+replication budget (fraction of the vertex count per machine), each
+machine adds the hottest remote vertices to its replica set, and all
+downstream accounting (workload reports, the training engine's
+communication metering) automatically sees them as local.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from .base import PartitionResult
+
+__all__ = ["partition_aware_replication", "remote_access_frequencies"]
+
+
+def remote_access_frequencies(dataset, partition, sampler, rng, epochs=2,
+                              batch_size=512):
+    """Per-machine access counts of *remote* vertices, measured by
+    pre-sampling each machine's own training workload.
+
+    Returns an ``(k, n)`` int64 matrix; row ``p`` counts how often
+    machine ``p`` requested each vertex it does not hold locally.
+    """
+    graph = dataset.graph
+    k = partition.num_parts
+    n = dataset.num_vertices
+    counts = np.zeros((k, n), dtype=np.int64)
+    train_ids = dataset.train_ids
+    owners = partition.assignment[train_ids]
+    for part in range(k):
+        own_train = train_ids[owners == part]
+        if len(own_train) == 0:
+            continue
+        for _epoch in range(epochs):
+            order = rng.permutation(own_train)
+            for start in range(0, len(order), batch_size):
+                batch = order[start:start + batch_size]
+                subgraph = sampler.sample(graph, batch, rng)
+                inputs = subgraph.input_nodes
+                remote = inputs[~partition.is_local(part, inputs)]
+                np.add.at(counts[part], remote, 1)
+    return counts
+
+
+def partition_aware_replication(dataset, partition, sampler, budget_ratio,
+                                rng=None, epochs=2, batch_size=512):
+    """Extend a partitioning with per-machine hot-remote-vertex replicas.
+
+    Parameters
+    ----------
+    dataset, partition, sampler:
+        The training setup whose access pattern decides what to
+        replicate.
+    budget_ratio:
+        Replication budget per machine, as a fraction of ``|V|``.
+    rng:
+        Generator for the pre-sampling pass.
+
+    Returns
+    -------
+    A new :class:`PartitionResult` (same ownership, method name suffixed
+    with ``+repl``) whose replica matrix includes the chosen vertices.
+    """
+    if not 0.0 <= budget_ratio <= 1.0:
+        raise PartitionError(
+            f"budget_ratio must be in [0, 1], got {budget_ratio}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    n = dataset.num_vertices
+    budget = int(round(budget_ratio * n))
+    counts = remote_access_frequencies(dataset, partition, sampler, rng,
+                                       epochs=epochs,
+                                       batch_size=batch_size)
+    replicas = (partition.replicas.copy() if partition.replicas is not None
+                else np.zeros((partition.num_parts, n), dtype=bool))
+    replicas[partition.assignment, np.arange(n)] = True
+    for part in range(partition.num_parts):
+        if budget == 0:
+            break
+        hot = np.argsort(-counts[part], kind="stable")[:budget]
+        hot = hot[counts[part][hot] > 0]
+        replicas[part, hot] = True
+    return PartitionResult(
+        assignment=partition.assignment.copy(),
+        num_parts=partition.num_parts,
+        method=f"{partition.method}+repl",
+        seconds=partition.seconds,
+        replicas=replicas)

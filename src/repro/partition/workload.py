@@ -1,0 +1,166 @@
+"""Per-machine computational and communication workload accounting.
+
+This module measures exactly what Figures 4 and 5 of the paper plot: for
+a given partitioning, run one epoch's worth of sampling on every machine
+and count, per machine,
+
+* **sampling load** — neighbor expansions executed for the machine's own
+  batches (*local*) plus expansions it executes on behalf of other
+  machines that need one of its vertices expanded (*served*);
+* **aggregation load** — edges aggregated during training of the
+  machine's own batches (graph aggregation dominates NN compute, so the
+  paper counts aggregations);
+* **communication** — sampled-subgraph edges and feature bytes received
+  from remote machines (deduplicated per batch, as in §2).
+
+Replication matters: a PaGraph (Stream-V) machine holds the L-hop
+neighborhood of its training vertices, so its expansions and feature
+reads are all local — reproducing Stream-V's zero-communication bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MachineWorkload", "WorkloadReport", "measure_workload",
+           "BYTES_PER_EDGE"]
+
+# A transferred subgraph edge carries two 8-byte vertex ids.
+BYTES_PER_EDGE = 16
+
+
+@dataclass
+class MachineWorkload:
+    """Workload counters for one machine (one epoch)."""
+
+    sample_local: int = 0
+    sample_served: int = 0
+    aggregation_edges: int = 0
+    recv_subgraph_edges: int = 0
+    recv_feature_vertices: int = 0
+    recv_feature_bytes: int = 0
+
+    @property
+    def compute_load(self):
+        """Figure 4's stacked height: sampling work + aggregation work."""
+        return self.sample_local + self.sample_served + self.aggregation_edges
+
+    @property
+    def comm_bytes(self):
+        """Figure 5's stacked height: subgraph + feature traffic."""
+        return (self.recv_subgraph_edges * BYTES_PER_EDGE
+                + self.recv_feature_bytes)
+
+
+@dataclass
+class WorkloadReport:
+    """Workload of every machine plus summary statistics."""
+
+    method: str
+    machines: list = field(default_factory=list)
+
+    @property
+    def num_machines(self):
+        return len(self.machines)
+
+    def _imbalance(self, values):
+        values = np.asarray(values, dtype=np.float64)
+        mean = values.mean()
+        if mean == 0:
+            return 1.0
+        return float(values.max() / mean)
+
+    @property
+    def total_compute(self):
+        return sum(m.compute_load for m in self.machines)
+
+    @property
+    def total_comm_bytes(self):
+        return sum(m.comm_bytes for m in self.machines)
+
+    @property
+    def compute_imbalance(self):
+        return self._imbalance([m.compute_load for m in self.machines])
+
+    @property
+    def comm_imbalance(self):
+        comm = [m.comm_bytes for m in self.machines]
+        if sum(comm) == 0:
+            return 1.0
+        return self._imbalance(comm)
+
+    def summary(self):
+        """Headline totals and imbalance ratios as a dict."""
+        return {
+            "method": self.method,
+            "total_compute": self.total_compute,
+            "compute_imbalance": self.compute_imbalance,
+            "total_comm_MB": self.total_comm_bytes / 1e6,
+            "comm_imbalance": self.comm_imbalance,
+        }
+
+
+def _machine_batches(train_ids, batch_size, rng):
+    order = rng.permutation(np.asarray(train_ids, dtype=np.int64))
+    for start in range(0, len(order), batch_size):
+        yield order[start:start + batch_size]
+
+
+def measure_workload(dataset, result, sampler, batch_size=512, rng=None):
+    """Account one epoch of distributed sampling + training.
+
+    Parameters
+    ----------
+    dataset:
+        :class:`~repro.graph.datasets.Dataset`.
+    result:
+        :class:`~repro.partition.base.PartitionResult` for ``k`` machines.
+    sampler:
+        Any :class:`~repro.sampling.base.Sampler`.
+    batch_size:
+        Seeds per batch on each machine.
+    rng:
+        :class:`numpy.random.Generator`.
+
+    Returns
+    -------
+    :class:`WorkloadReport`
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    graph = dataset.graph
+    assignment = result.assignment
+    feat_bytes = dataset.features.shape[1] * dataset.features.itemsize
+    machines = [MachineWorkload() for _p in range(result.num_parts)]
+    train_ids = dataset.train_ids
+
+    for part in range(result.num_parts):
+        own_train = train_ids[assignment[train_ids] == part]
+        if len(own_train) == 0:
+            continue
+        me = machines[part]
+        for batch in _machine_batches(own_train, batch_size, rng):
+            subgraph = sampler.sample(graph, batch, rng)
+            me.aggregation_edges += subgraph.total_edges
+            # Expansion accounting per block.
+            for block in subgraph.blocks:
+                dst = block.dst_nodes
+                degrees = block.degrees()
+                local = result.is_local(part, dst)
+                me.sample_local += int(local.sum())
+                remote_dst = dst[~local]
+                if len(remote_dst):
+                    owners = assignment[remote_dst]
+                    for owner in np.unique(owners):
+                        machines[owner].sample_served += int(
+                            (owners == owner).sum())
+                    me.recv_subgraph_edges += int(degrees[~local].sum())
+            # Feature fetch accounting (deduplicated per batch).
+            inputs = subgraph.input_nodes
+            remote_inputs = ~result.is_local(part, inputs)
+            count = int(remote_inputs.sum())
+            me.recv_feature_vertices += count
+            me.recv_feature_bytes += count * feat_bytes
+    return WorkloadReport(method=result.method, machines=machines)

@@ -1,0 +1,174 @@
+"""Sampled subgraph data structures (message-flow graphs).
+
+A mini-batch for an L-layer GNN is a stack of L bipartite *blocks*.
+Block ``l`` aggregates features of its *source* vertices (layer ``l``
+inputs) into its *destination* vertices (layer ``l`` outputs).  Following
+the usual MFG convention, every destination vertex is also the first
+entry of the source list, so a layer can combine a vertex's own
+representation with its aggregated neighbors by slicing.
+
+Vertex ids inside a block are *local* (0-based positions); the mapping
+back to global graph ids is kept in ``src_nodes``/``dst_nodes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SamplingError
+
+__all__ = ["SampledBlock", "SampledSubgraph", "build_block"]
+
+
+@dataclass
+class SampledBlock:
+    """One bipartite aggregation layer.
+
+    Attributes
+    ----------
+    dst_nodes:
+        Global ids of output vertices (the layer's frontier).
+    src_nodes:
+        Global ids of input vertices; ``src_nodes[:len(dst_nodes)] ==
+        dst_nodes`` (self-inclusion).
+    indptr, indices:
+        CSR over destinations: ``indices[indptr[i]:indptr[i+1]]`` are
+        *local* positions into ``src_nodes`` of the sampled in-neighbors
+        of ``dst_nodes[i]``.
+    """
+
+    dst_nodes: np.ndarray
+    src_nodes: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def num_dst(self):
+        return len(self.dst_nodes)
+
+    @property
+    def num_src(self):
+        return len(self.src_nodes)
+
+    @property
+    def num_edges(self):
+        return len(self.indices)
+
+    def validate(self):
+        """Raise :class:`SamplingError` on structural inconsistencies."""
+        if len(self.indptr) != self.num_dst + 1:
+            raise SamplingError("block indptr length mismatch")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.num_edges:
+            raise SamplingError("block indptr endpoints wrong")
+        if np.any(np.diff(self.indptr) < 0):
+            raise SamplingError("block indptr must be non-decreasing")
+        if self.num_edges and (self.indices.min() < 0
+                               or self.indices.max() >= self.num_src):
+            raise SamplingError("block edge index out of range")
+        if not np.array_equal(self.src_nodes[:self.num_dst], self.dst_nodes):
+            raise SamplingError("src_nodes must start with dst_nodes")
+
+    def degrees(self):
+        """Sampled in-degree per destination vertex."""
+        return np.diff(self.indptr)
+
+
+@dataclass
+class SampledSubgraph:
+    """A full L-layer mini-batch sample.
+
+    ``blocks[0]`` is the *innermost* block (consumes raw input features);
+    ``blocks[-1]`` produces the embeddings of the batch ``seeds``.
+    """
+
+    seeds: np.ndarray
+    blocks: list
+
+    @property
+    def num_layers(self):
+        return len(self.blocks)
+
+    @property
+    def input_nodes(self):
+        """Global ids whose raw features must be fetched."""
+        if not self.blocks:
+            return self.seeds
+        return self.blocks[0].src_nodes
+
+    @property
+    def total_edges(self):
+        """Total aggregation work (edges across all blocks)."""
+        return int(sum(block.num_edges for block in self.blocks))
+
+    @property
+    def total_vertices(self):
+        """Total vertex slots across all blocks (with inter-layer
+        duplicates, i.e. the computation footprint)."""
+        return int(sum(block.num_src for block in self.blocks))
+
+    def unique_vertices(self):
+        """Distinct global vertex ids touched anywhere in the sample."""
+        parts = [self.seeds] + [b.src_nodes for b in self.blocks]
+        return np.unique(np.concatenate(parts))
+
+    def validate(self):
+        """Validate every block and their layer chaining."""
+        for block in self.blocks:
+            block.validate()
+        if self.blocks and not np.array_equal(
+                self.blocks[-1].dst_nodes, self.seeds):
+            raise SamplingError("outermost block must target the seeds")
+        # Layer chaining: dst of block l == src of block l-1's consumer.
+        for inner, outer in zip(self.blocks[:-1], self.blocks[1:]):
+            if not np.array_equal(inner.dst_nodes, outer.src_nodes):
+                raise SamplingError("blocks do not chain")
+
+
+def build_block(dst_nodes, edge_dst, edge_src):
+    """Assemble a :class:`SampledBlock` from sampled global edge pairs.
+
+    Parameters
+    ----------
+    dst_nodes:
+        Global ids of this layer's destinations (unique).
+    edge_dst, edge_src:
+        Parallel arrays of sampled edges in *global* ids; every
+        ``edge_dst`` value must appear in ``dst_nodes``.  Duplicate
+        ``(dst, src)`` pairs are collapsed.
+    """
+    dst_nodes = np.asarray(dst_nodes, dtype=np.int64)
+    edge_dst = np.asarray(edge_dst, dtype=np.int64)
+    edge_src = np.asarray(edge_src, dtype=np.int64)
+    if len(edge_dst) != len(edge_src):
+        raise SamplingError("edge arrays must have equal length")
+
+    # Source list: destinations first (self-inclusion), then new sources.
+    extra = np.setdiff1d(edge_src, dst_nodes, assume_unique=False)
+    src_nodes = np.concatenate([dst_nodes, extra])
+
+    # Global -> local translation, vectorized with searchsorted over a
+    # stable sort of the id arrays.
+    def localize(universe, queries, what):
+        sorter = np.argsort(universe, kind="stable")
+        spots = np.searchsorted(universe, queries, sorter=sorter)
+        if len(queries) and (spots.max() >= len(universe)
+                             or np.any(universe[sorter[spots]] != queries)):
+            raise SamplingError(f"edge {what} not found in block vertices")
+        return sorter[spots]
+
+    dst_local = localize(dst_nodes, edge_dst, "destination")
+    src_local = localize(src_nodes, edge_src, "source")
+
+    if len(dst_local):
+        order = np.lexsort((src_local, dst_local))
+        dst_local, src_local = dst_local[order], src_local[order]
+        keep = np.concatenate(([True], (dst_local[1:] != dst_local[:-1])
+                               | (src_local[1:] != src_local[:-1])))
+        dst_local, src_local = dst_local[keep], src_local[keep]
+
+    counts = np.bincount(dst_local, minlength=len(dst_nodes))
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return SampledBlock(dst_nodes=dst_nodes, src_nodes=src_nodes,
+                        indptr=indptr, indices=src_local)

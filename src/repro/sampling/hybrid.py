@@ -1,0 +1,67 @@
+"""Fanout–rate hybrid sampling — the paper's proposed method (§6.3.4).
+
+The analysis in §6.3.3 shows a fixed fanout is wrong for skewed graphs:
+low-degree vertices predict best with small fanouts (randomness +
+complete neighborhoods) while high-degree vertices need more neighbors to
+be representative.  The hybrid method therefore applies *fanout* sampling
+to low-degree vertices and *rate* sampling to high-degree vertices:
+
+    count(v) = fanout                   if degree(v) <= threshold
+    count(v) = ceil(rate * degree(v))   otherwise
+
+The paper reports this converges 1.74x faster than the best fixed fanout
+(8, 8) at equal accuracy (Table 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SamplingError
+from .base import Sampler, expand_layers
+
+__all__ = ["HybridSampler"]
+
+
+class HybridSampler(Sampler):
+    """Fanout for low-degree vertices, rate for high-degree vertices.
+
+    Parameters
+    ----------
+    fanout:
+        Per-layer fanout applied below the degree threshold (outermost
+        first), e.g. ``(8, 8)``.
+    rate:
+        Sampling rate applied above the threshold.
+    degree_threshold:
+        Degree at which a vertex switches from fanout to rate sampling.
+    """
+
+    name = "hybrid"
+
+    def __init__(self, fanout=(8, 8), rate=0.3, degree_threshold=32):
+        fanout = tuple(int(f) for f in fanout)
+        if not fanout or any(f < 1 for f in fanout):
+            raise SamplingError(f"fanout must be positive, got {fanout}")
+        if not 0.0 < rate <= 1.0:
+            raise SamplingError(f"rate must be in (0, 1], got {rate}")
+        if degree_threshold < 1:
+            raise SamplingError(
+                f"degree_threshold must be >= 1, got {degree_threshold}")
+        super().__init__(num_layers=len(fanout))
+        self.fanout = fanout
+        self.rate = float(rate)
+        self.degree_threshold = int(degree_threshold)
+
+    def sample(self, graph, seeds, rng):
+        def counts(layer, frontier, degrees):
+            low = degrees <= self.degree_threshold
+            out = np.ceil(self.rate * degrees).astype(np.int64)
+            out[low] = self.fanout[layer]
+            return np.maximum(out, 1)
+
+        return expand_layers(graph, seeds, counts, self.num_layers, rng)
+
+    def describe(self):
+        return (f"hybrid(fanout={self.fanout}, rate={self.rate}, "
+                f"thresh={self.degree_threshold})")

@@ -1,0 +1,51 @@
+"""Ratio-based sampling: draw a fixed *fraction* of each vertex's
+neighbors (BNS-GCN, GraphSAINT, AliGraph's ratio mode).
+
+Compared to fanout sampling this treats high- and low-degree vertices
+"fairly" — both lose the same fraction — but the paper shows it
+disadvantages low-degree vertices in absolute terms (§6.3.4): at rate 0.1
+a degree-20 vertex keeps only 2 neighbors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SamplingError
+from .base import Sampler, expand_layers
+
+__all__ = ["RateSampler"]
+
+
+class RateSampler(Sampler):
+    """Sample ``ceil(rate * degree)`` neighbors per vertex per layer.
+
+    Parameters
+    ----------
+    rate:
+        Sampling rate in ``(0, 1]``.
+    num_layers:
+        GNN depth ``L``.
+    min_neighbors:
+        Floor on the per-vertex draw (default 1) so no vertex is starved
+        outright.
+    """
+
+    name = "rate"
+
+    def __init__(self, rate, num_layers=2, min_neighbors=1):
+        if not 0.0 < rate <= 1.0:
+            raise SamplingError(f"rate must be in (0, 1], got {rate}")
+        super().__init__(num_layers=num_layers)
+        self.rate = float(rate)
+        self.min_neighbors = int(min_neighbors)
+
+    def sample(self, graph, seeds, rng):
+        def counts(layer, frontier, degrees):
+            want = np.ceil(self.rate * degrees).astype(np.int64)
+            return np.maximum(want, self.min_neighbors)
+
+        return expand_layers(graph, seeds, counts, self.num_layers, rng)
+
+    def describe(self):
+        return f"rate({self.rate})x{self.num_layers}"

@@ -1,0 +1,15 @@
+"""Downstream tasks consuming GNN embeddings (beyond vertex
+classification)."""
+
+from .clustering import (ClusteringResult, cluster_dataset,
+                         cluster_embeddings, kmeans,
+                         normalized_mutual_information)
+from .linkpred import (EdgeSplit, LinkPredictionResult,
+                       sample_negative_edges, score_pairs, split_edges,
+                       train_link_prediction)
+
+__all__ = ["EdgeSplit", "split_edges", "sample_negative_edges",
+           "score_pairs", "LinkPredictionResult",
+           "train_link_prediction",
+           "kmeans", "normalized_mutual_information",
+           "cluster_embeddings", "ClusteringResult", "cluster_dataset"]

@@ -1,0 +1,35 @@
+"""Data transferring: hardware model, methods, caching, pipelining."""
+
+from .blocks import (BlockActivity, active_block_ratio, block_activity,
+                     threshold_sweep)
+from .cache import (DegreeCache, GPUCache, LRUCache, PreSampleCache,
+                    RandomCache, presample_frequencies)
+from .hardware import DEFAULT_SPEC, HardwareSpec, estimate_flops
+from .memory import (MemoryEstimate, estimate_batch_memory,
+                     estimate_subgraph_memory, max_batch_size)
+from .methods import (TOPOLOGY_BYTES_PER_EDGE, BatchStats, ExtractLoad,
+                      HybridTransfer, TransferBreakdown, TransferMethod,
+                      ZeroCopy, make_transfer)
+from .pipeline import (PIPELINE_MODES, PipelineResult, pipeline_groups,
+                       simulate_pipeline)
+from .platform import (PLATFORM_NAMES, NoTransfer, Platform, cpu_cluster,
+                       gpu_cluster, multi_gpu)
+from .trace import epoch_trace_events, worker_trace, write_epoch_trace
+
+__all__ = [
+    "HardwareSpec", "DEFAULT_SPEC", "estimate_flops",
+    "BatchStats", "TransferBreakdown", "TransferMethod", "ExtractLoad",
+    "ZeroCopy", "HybridTransfer", "make_transfer",
+    "TOPOLOGY_BYTES_PER_EDGE",
+    "GPUCache", "DegreeCache", "PreSampleCache", "RandomCache",
+    "LRUCache", "presample_frequencies",
+    "BlockActivity", "block_activity", "active_block_ratio",
+    "threshold_sweep",
+    "PipelineResult", "simulate_pipeline", "PIPELINE_MODES",
+    "pipeline_groups",
+    "Platform", "cpu_cluster", "multi_gpu", "gpu_cluster", "NoTransfer",
+    "PLATFORM_NAMES",
+    "MemoryEstimate", "estimate_batch_memory", "estimate_subgraph_memory",
+    "max_batch_size",
+    "epoch_trace_events", "worker_trace", "write_epoch_trace",
+]

@@ -1,0 +1,81 @@
+"""Feature-memory block activity analysis (Figures 15 & 16).
+
+Host feature memory is viewed as consecutive 256 KB blocks (the paper's
+unit, following PyTorch-Direct).  For a batch, a vertex is *active* if
+its feature row must be moved this iteration.  The distribution of active
+vertices over blocks decides whether hybrid (block-wise DMA) transfer can
+help: only blocks whose active fraction exceeds a threshold are worth
+DMA-ing whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TransferError
+
+__all__ = ["BlockActivity", "block_activity", "active_block_ratio",
+           "threshold_sweep"]
+
+
+@dataclass
+class BlockActivity:
+    """Active-vertex statistics over the feature blocks of one batch."""
+
+    active_counts: np.ndarray      # active vertices per block
+    vertices_per_block: int
+    num_blocks: int
+
+    @property
+    def fractions(self):
+        """Active fraction per block (last partial block pro-rated by the
+        full block size, matching the fixed 256 KB granularity)."""
+        return self.active_counts / self.vertices_per_block
+
+
+def block_activity(active_ids, num_vertices, feature_bytes_per_vertex,
+                   block_bytes=262144):
+    """Count active vertices per 256 KB feature block.
+
+    Parameters
+    ----------
+    active_ids:
+        Global vertex ids whose features must move (deduplicated or not —
+        duplicates are collapsed).
+    num_vertices:
+        Total vertices in the feature store.
+    feature_bytes_per_vertex:
+        Row size in bytes; with the paper's 600-float features one block
+        holds ~109 vertices.
+    block_bytes:
+        Block granularity.
+    """
+    if feature_bytes_per_vertex <= 0:
+        raise TransferError("feature_bytes_per_vertex must be positive")
+    vertices_per_block = max(1, block_bytes // feature_bytes_per_vertex)
+    num_blocks = int(np.ceil(num_vertices / vertices_per_block))
+    active_ids = np.unique(np.asarray(active_ids, dtype=np.int64))
+    if len(active_ids) and (active_ids[0] < 0
+                            or active_ids[-1] >= num_vertices):
+        raise TransferError("active vertex id out of range")
+    counts = np.bincount(active_ids // vertices_per_block,
+                         minlength=max(num_blocks, 1))
+    return BlockActivity(active_counts=counts[:max(num_blocks, 1)],
+                         vertices_per_block=vertices_per_block,
+                         num_blocks=max(num_blocks, 1))
+
+
+def active_block_ratio(activity, threshold):
+    """Fraction of blocks whose active fraction is at least
+    ``threshold`` — the quantity on Figure 16's y-axis."""
+    if activity.num_blocks == 0:
+        return 0.0
+    return float((activity.fractions >= threshold).mean())
+
+
+def threshold_sweep(activity, thresholds=(0.1, 0.2, 0.3, 0.4, 0.5,
+                                          0.6, 0.7, 0.8, 0.9)):
+    """Active-block ratio at each threshold (Figure 16's x-sweep)."""
+    return {float(t): active_block_ratio(activity, t) for t in thresholds}

@@ -1,0 +1,171 @@
+"""CPU→GPU data transfer methods (§7.2, §7.3.1).
+
+Three methods, all consuming the same :class:`BatchStats` counts:
+
+* **Extract-Load** — the explicit path: gather the batch's (uncached)
+  feature rows into a contiguous staging buffer on the CPU, then
+  ``cudaMemcpy`` staging + topology to the GPU at full PCIe bandwidth.
+* **Zero-Copy** — the implicit UVA path: the GPU reads exactly the
+  needed feature rows straight from host memory; no extraction, but the
+  fine-grained reads run below peak PCIe bandwidth.
+* **Hybrid** — HyTGraph-style: features live in 256 KB blocks; dense
+  blocks (active fraction >= threshold) are DMA'd whole (no gather
+  needed for a full contiguous block), sparse blocks are zero-copied.
+
+The paper's §7.3.1 finding — hybrid does not help GNN training because
+sampled vertices are too scattered for dense blocks to exist (especially
+under caching) — emerges directly from the block activity statistics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TransferError
+from .blocks import block_activity
+
+__all__ = ["BatchStats", "TransferBreakdown", "TransferMethod",
+           "ExtractLoad", "ZeroCopy", "HybridTransfer", "make_transfer",
+           "TOPOLOGY_BYTES_PER_EDGE"]
+
+# A subgraph edge shipped to the GPU: two 4-byte local ids.
+TOPOLOGY_BYTES_PER_EDGE = 8
+
+
+@dataclass
+class BatchStats:
+    """Counts describing one mini-batch's transfer needs."""
+
+    input_nodes: np.ndarray        # global ids whose features are needed
+    feature_bytes_per_vertex: int
+    subgraph_edges: int            # topology size shipped alongside
+    num_vertices_total: int        # |V| of the dataset (for block layout)
+
+    @classmethod
+    def from_subgraph(cls, subgraph, dataset):
+        return cls(input_nodes=subgraph.input_nodes,
+                   feature_bytes_per_vertex=(dataset.feature_dim
+                                             * dataset.features.itemsize),
+                   subgraph_edges=subgraph.total_edges,
+                   num_vertices_total=dataset.num_vertices)
+
+    @property
+    def feature_bytes(self):
+        return len(self.input_nodes) * self.feature_bytes_per_vertex
+
+    @property
+    def topology_bytes(self):
+        return self.subgraph_edges * TOPOLOGY_BYTES_PER_EDGE
+
+
+@dataclass
+class TransferBreakdown:
+    """Seconds and bytes of one batch's CPU→GPU movement."""
+
+    extract_seconds: float
+    load_seconds: float
+    bytes_moved: int
+
+    @property
+    def total_seconds(self):
+        return self.extract_seconds + self.load_seconds
+
+
+class TransferMethod(abc.ABC):
+    """Base class: compute a :class:`TransferBreakdown` for a batch."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def transfer(self, stats, spec, cache=None):
+        """Time one batch; ``cache`` (a GPUCache) filters feature rows."""
+
+    def _miss_nodes(self, stats, cache):
+        if cache is None:
+            return np.asarray(stats.input_nodes, dtype=np.int64)
+        _hits, misses = cache.lookup(stats.input_nodes)
+        return misses
+
+
+class ExtractLoad(TransferMethod):
+    """Explicit extract-then-DMA transfer."""
+
+    name = "extract-load"
+
+    def transfer(self, stats, spec, cache=None):
+        misses = self._miss_nodes(stats, cache)
+        miss_bytes = len(misses) * stats.feature_bytes_per_vertex
+        extract = spec.gather_time(miss_bytes)
+        payload = miss_bytes + stats.topology_bytes
+        load = spec.pcie_time(payload, transfers=2)
+        return TransferBreakdown(extract, load, payload)
+
+
+class ZeroCopy(TransferMethod):
+    """UVA zero-copy transfer: no extraction, reduced-efficiency reads."""
+
+    name = "zero-copy"
+
+    def transfer(self, stats, spec, cache=None):
+        misses = self._miss_nodes(stats, cache)
+        miss_bytes = len(misses) * stats.feature_bytes_per_vertex
+        # Topology is still shipped explicitly (it is contiguous anyway).
+        load = (spec.zero_copy_time(miss_bytes)
+                + spec.pcie_time(stats.topology_bytes, transfers=1))
+        return TransferBreakdown(0.0, load,
+                                 miss_bytes + stats.topology_bytes)
+
+
+class HybridTransfer(TransferMethod):
+    """HyTGraph-style per-block decision between DMA and zero-copy.
+
+    Parameters
+    ----------
+    threshold:
+        Active-vertex fraction above which a 256 KB feature block is
+        transferred whole by DMA.
+    block_bytes:
+        Feature block granularity (the paper uses 256 KB units).
+    """
+
+    name = "hybrid"
+
+    def __init__(self, threshold=0.5, block_bytes=262144):
+        if not 0.0 < threshold <= 1.0:
+            raise TransferError(
+                f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = float(threshold)
+        self.block_bytes = int(block_bytes)
+
+    def transfer(self, stats, spec, cache=None):
+        misses = self._miss_nodes(stats, cache)
+        activity = block_activity(misses, stats.num_vertices_total,
+                                  stats.feature_bytes_per_vertex,
+                                  block_bytes=self.block_bytes)
+        dense = activity.fractions >= self.threshold
+        vertices_per_block = activity.vertices_per_block
+        # Dense blocks: whole contiguous block DMA'd, no gather.
+        dense_bytes = int(dense.sum()) * vertices_per_block \
+            * stats.feature_bytes_per_vertex
+        # Sparse blocks: only the active rows, via zero-copy.
+        sparse_active = int(activity.active_counts[~dense].sum())
+        sparse_bytes = sparse_active * stats.feature_bytes_per_vertex
+        load = (spec.pcie_time(dense_bytes + stats.topology_bytes,
+                               transfers=1 + int(dense.sum() > 0))
+                + spec.zero_copy_time(sparse_bytes))
+        return TransferBreakdown(
+            0.0, load, dense_bytes + sparse_bytes + stats.topology_bytes)
+
+
+def make_transfer(name, **kwargs):
+    """Factory: ``extract-load``, ``zero-copy``, or ``hybrid``."""
+    methods = {"extract-load": ExtractLoad, "zero-copy": ZeroCopy,
+               "hybrid": HybridTransfer}
+    key = name.lower()
+    if key not in methods:
+        raise TransferError(
+            f"unknown transfer method {name!r}; known: {sorted(methods)}")
+    return methods[key](**kwargs)

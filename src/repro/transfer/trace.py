@@ -1,0 +1,119 @@
+"""Chrome-tracing export of simulated training epochs.
+
+``chrome://tracing`` (or Perfetto) renders JSON event lists on a
+per-resource timeline — ideal for *seeing* what the pipeline simulator
+computes: when each batch occupies the CPU (batch preparation), the
+PCIe link (data transfer), and the GPU (NN computation), and where the
+bubbles are under each pipelining mode.
+
+The exporter re-runs the pipeline recurrence to recover per-batch start
+times, so a trace is exactly consistent with the makespan the engine
+reported.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TransferError
+from .pipeline import pipeline_groups
+
+__all__ = ["epoch_trace_events", "write_epoch_trace", "worker_trace"]
+
+STAGE_NAMES = ("batch preparation", "data transfer", "NN computation")
+RESOURCE_NAMES = {"none": ("serial",),
+                  "bp": ("CPU", "PCIe+GPU"),
+                  "bp+dt": ("CPU", "PCIe", "GPU")}
+
+
+def _schedule(stage_times, mode):
+    """Per-batch (start, end) per resource group, via the same
+    recurrence as :func:`simulate_pipeline`."""
+    times = np.asarray(stage_times, dtype=np.float64)
+    groups = pipeline_groups(mode)
+    group_times = np.stack(
+        [times[:, group].sum(axis=1) for group in groups], axis=1)
+    num_batches = times.shape[0]
+    start = np.zeros((num_batches, len(groups)))
+    finish = np.zeros((num_batches, len(groups)))
+    for b in range(num_batches):
+        for g in range(len(groups)):
+            ready = finish[b][g - 1] if g > 0 else 0.0
+            free = finish[b - 1][g] if b > 0 else 0.0
+            start[b][g] = max(ready, free)
+            finish[b][g] = start[b][g] + group_times[b, g]
+    return groups, start, finish
+
+
+def epoch_trace_events(stage_times, mode="bp+dt", worker=0,
+                       time_scale=1e6):
+    """Chrome-tracing "X" (complete) events for one worker's epoch.
+
+    Parameters
+    ----------
+    stage_times:
+        Per-batch ``(bp, dt, nn)`` seconds.
+    mode:
+        Pipeline mode used for the schedule.
+    worker:
+        Process id to file the events under.
+    time_scale:
+        Seconds -> trace microseconds multiplier (traces are in µs;
+        scale up tiny simulated epochs to stay readable).
+    """
+    stage_times = np.asarray(stage_times, dtype=np.float64)
+    if stage_times.ndim != 2 or stage_times.shape[1] != 3:
+        raise TransferError("stage_times must be an (n, 3) array-like")
+    groups, start, finish = _schedule(stage_times, mode)
+    resources = RESOURCE_NAMES[mode]
+    events = []
+    for b in range(stage_times.shape[0]):
+        for g, group in enumerate(groups):
+            label = "+".join(STAGE_NAMES[s] for s in group)
+            events.append({
+                "name": f"batch {b}: {label}",
+                "ph": "X",
+                "ts": start[b][g] * time_scale,
+                "dur": (finish[b][g] - start[b][g]) * time_scale,
+                "pid": worker,
+                "tid": g,
+                "cat": label,
+            })
+    # Thread-name metadata so the viewer labels resources.
+    for g, name in enumerate(resources):
+        events.append({"name": "thread_name", "ph": "M", "pid": worker,
+                       "tid": g, "args": {"name": name}})
+    events.append({"name": "process_name", "ph": "M", "pid": worker,
+                   "args": {"name": f"worker {worker}"}})
+    return events
+
+
+def worker_trace(workers, mode="bp+dt", time_scale=1e6):
+    """Events for every worker of an epoch (one process per worker).
+
+    ``workers`` is a list of per-worker stage-time lists, e.g. from
+    ``Worker.epoch_stage_times``.
+    """
+    events = []
+    for worker_id, stage_times in enumerate(workers):
+        if len(stage_times) == 0:
+            continue
+        events.extend(epoch_trace_events(stage_times, mode=mode,
+                                         worker=worker_id,
+                                         time_scale=time_scale))
+    return events
+
+
+def write_epoch_trace(path, workers, mode="bp+dt", time_scale=1e6):
+    """Write a chrome://tracing JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"traceEvents": worker_trace(workers, mode=mode,
+                                           time_scale=time_scale),
+               "displayTimeUnit": "ms"}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path

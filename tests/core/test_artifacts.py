@@ -1,0 +1,56 @@
+"""Unit tests for JSON run artifacts."""
+
+import json
+
+import pytest
+
+from repro.core import (Trainer, TrainingConfig, compare_records,
+                        load_record, result_to_record, save_result)
+from repro.errors import TrainingError
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="module")
+def result():
+    dataset = load_dataset("ogb-arxiv", scale=0.25)
+    config = TrainingConfig(epochs=3, batch_size=128, num_workers=2,
+                            fanout=(4, 4), partitioner="hash")
+    return Trainer(dataset, config).run()
+
+
+class TestRecords:
+    def test_record_is_json_serializable(self, result):
+        record = result_to_record(result)
+        text = json.dumps(record)
+        assert "best_val_accuracy" in text
+
+    def test_record_fields(self, result):
+        record = result_to_record(result)
+        assert record["schema"] == "repro.training_result.v1"
+        assert record["config"]["partitioner"] == "hash"
+        assert record["config"]["fanout"] == [4, 4]
+        assert len(record["curve"]["val_accuracies"]) == 3
+        assert 0 <= record["test_accuracy"] <= 1
+
+    def test_save_and_load_roundtrip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "runs" / "run1.json")
+        record = load_record(path)
+        assert record["best_val_accuracy"] == pytest.approx(
+            result.best_val_accuracy)
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(TrainingError):
+            load_record(path)
+
+    def test_compare_records_ranks(self, result):
+        record = result_to_record(result)
+        worse = dict(record, best_val_accuracy=0.0)
+        ranked = compare_records([worse, record])
+        assert ranked[0][1] >= ranked[1][1]
+
+    def test_compare_missing_metric(self, result):
+        record = result_to_record(result)
+        with pytest.raises(TrainingError):
+            compare_records([record], metric="does_not_exist")

@@ -1,0 +1,144 @@
+"""Unit tests for the distributed runtime (comm meter, worker, engine)."""
+
+import numpy as np
+import pytest
+
+from repro.dist import CommMeter, EpochStats, SyncEngine, Worker
+from repro.errors import TrainingError, TransferError
+from repro.graph import load_dataset
+from repro.nn import Adam, build_model
+from repro.partition import HashPartitioner, StreamVPartitioner
+from repro.sampling import NeighborSampler
+from repro.transfer import DEFAULT_SPEC, ZeroCopy
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("ogb-arxiv", scale=0.25)
+
+
+def build_engine(dataset, partitioner=None, num_parts=2, **kwargs):
+    partitioner = partitioner or HashPartitioner()
+    partition = partitioner.partition(dataset.graph, num_parts,
+                                      split=dataset.split,
+                                      rng=np.random.default_rng(0))
+    model = build_model("gcn", dataset.feature_dim, dataset.num_classes,
+                        rng=np.random.default_rng(1))
+    optimizer = Adam(model.parameters(), lr=0.003)
+    return SyncEngine(dataset, partition, NeighborSampler((5, 5)), model,
+                      optimizer, spec=DEFAULT_SPEC, transfer=ZeroCopy(),
+                      **kwargs)
+
+
+class TestCommMeter:
+    def test_record_and_totals(self):
+        meter = CommMeter(3)
+        meter.record(0, 1, 100)
+        meter.record(2, 1, 50, messages=2)
+        assert meter.received_bytes(1) == 150
+        assert meter.sent_bytes(0) == 100
+        assert meter.total_bytes == 150
+        assert meter.total_messages == 3
+
+    def test_local_traffic_free(self):
+        meter = CommMeter(2)
+        meter.record(0, 0, 1000)
+        assert meter.total_bytes == 0
+
+    def test_imbalance(self):
+        meter = CommMeter(2)
+        meter.record(0, 1, 100)
+        assert meter.imbalance() == pytest.approx(2.0)  # all to machine 1
+
+    def test_receive_time_uses_spec(self):
+        meter = CommMeter(2)
+        meter.record(0, 1, int(1.25e9))  # one second of bandwidth
+        assert meter.receive_time(1, DEFAULT_SPEC) == pytest.approx(
+            1.0 + DEFAULT_SPEC.network_latency, rel=1e-3)
+
+    def test_invalid_machine_count(self):
+        with pytest.raises(TransferError):
+            CommMeter(0)
+
+    def test_reset(self):
+        meter = CommMeter(2)
+        meter.record(0, 1, 10)
+        meter.reset()
+        assert meter.total_bytes == 0
+
+
+class TestWorker:
+    def test_epoch_batches_cover_train_ids(self):
+        worker = Worker(0, np.arange(10))
+        batches = worker.epoch_batches(4, np.random.default_rng(0))
+        assert sorted(np.concatenate(batches)) == list(range(10))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_invalid_batch_size(self):
+        worker = Worker(0, np.arange(4))
+        with pytest.raises(TrainingError):
+            worker.epoch_batches(0, np.random.default_rng(0))
+
+
+class TestSyncEngine:
+    def test_epoch_returns_stats(self, dataset):
+        engine = build_engine(dataset)
+        stats = engine.run_epoch(64, np.random.default_rng(0))
+        assert isinstance(stats, EpochStats)
+        assert stats.loss > 0
+        assert stats.epoch_seconds > 0
+        assert stats.involved_edges > 0
+        assert stats.num_steps >= 1
+
+    def test_loss_decreases_over_epochs(self, dataset):
+        engine = build_engine(dataset)
+        rng = np.random.default_rng(0)
+        first = engine.run_epoch(64, rng).loss
+        for _epoch in range(5):
+            last = engine.run_epoch(64, rng).loss
+        assert last < first
+
+    def test_breakdown_sums_to_one(self, dataset):
+        engine = build_engine(dataset)
+        stats = engine.run_epoch(64, np.random.default_rng(0))
+        assert sum(stats.breakdown().values()) == pytest.approx(1.0)
+
+    def test_single_worker_no_allreduce(self, dataset):
+        engine = build_engine(dataset, num_parts=1)
+        stats = engine.run_epoch(64, np.random.default_rng(0))
+        assert stats.allreduce_seconds == 0.0
+        assert engine.comm.total_bytes == 0
+
+    def test_multi_worker_comm_recorded(self, dataset):
+        engine = build_engine(dataset, num_parts=2)
+        engine.run_epoch(64, np.random.default_rng(0))
+        assert engine.comm.total_bytes > 0
+
+    def test_stream_v_reduces_comm(self, dataset):
+        hash_engine = build_engine(dataset, num_parts=2)
+        hash_engine.run_epoch(64, np.random.default_rng(0))
+        stream_engine = build_engine(
+            dataset, partitioner=StreamVPartitioner(hop_cap=None),
+            num_parts=2)
+        stream_engine.run_epoch(64, np.random.default_rng(0))
+        assert (stream_engine.comm.total_bytes
+                < 0.05 * hash_engine.comm.total_bytes)
+
+    def test_cache_slot_mismatch(self, dataset):
+        partition = HashPartitioner().partition(
+            dataset.graph, 2, rng=np.random.default_rng(0))
+        model = build_model("gcn", dataset.feature_dim,
+                            dataset.num_classes,
+                            rng=np.random.default_rng(1))
+        with pytest.raises(TrainingError):
+            SyncEngine(dataset, partition, NeighborSampler((5, 5)), model,
+                       Adam(model.parameters(), lr=0.01),
+                       spec=DEFAULT_SPEC, transfer=ZeroCopy(),
+                       caches=[None])  # needs 2 slots
+
+    def test_pipeline_mode_speeds_epoch(self, dataset):
+        sequential = build_engine(dataset, pipeline_mode="none")
+        pipelined = build_engine(dataset, pipeline_mode="bp+dt")
+        seq_stats = sequential.run_epoch(64, np.random.default_rng(0))
+        pipe_stats = pipelined.run_epoch(64, np.random.default_rng(0))
+        assert pipe_stats.epoch_seconds <= seq_stats.epoch_seconds

@@ -1,0 +1,161 @@
+"""Unit tests for full-batch distributed training and staleness."""
+
+import numpy as np
+import pytest
+
+from repro.dist import FullBatchEngine, FullGraphGCN, full_aggregation_matrix
+from repro.errors import TrainingError
+from repro.graph import load_dataset
+from repro.nn import Adam, Tensor
+from repro.partition import HashPartitioner, MetisPartitioner
+from repro.transfer import DEFAULT_SPEC
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("ogb-arxiv", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def partition(dataset):
+    return MetisPartitioner("ve").partition(
+        dataset.graph, 3, split=dataset.split,
+        rng=np.random.default_rng(0))
+
+
+def build_engine(dataset, partition, staleness=0, seed=1, lr=0.01):
+    model = FullGraphGCN(dataset.feature_dim, 64, dataset.num_classes, 2,
+                         np.random.default_rng(seed))
+    return FullBatchEngine(dataset, partition, model,
+                           Adam(model.parameters(), lr=lr),
+                           spec=DEFAULT_SPEC, staleness=staleness,
+                           hidden_dim=64)
+
+
+class TestAggregationMatrix:
+    def test_rows_sum_to_one(self, dataset):
+        matrix = full_aggregation_matrix(dataset.graph)
+        sums = np.asarray(matrix.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0, atol=1e-5)
+
+    def test_shape(self, dataset):
+        matrix = full_aggregation_matrix(dataset.graph)
+        n = dataset.num_vertices
+        assert matrix.shape == (n, n)
+
+
+class TestFullBatchEngine:
+    def test_one_update_per_epoch(self, dataset, partition):
+        engine = build_engine(dataset, partition)
+        stats = engine.run_epoch()
+        assert stats.num_steps == 1
+        assert stats.batch_size == len(dataset.train_ids)
+
+    def test_learns(self, dataset, partition):
+        engine = build_engine(dataset, partition)
+        for _epoch in range(15):
+            stats = engine.run_epoch()
+        accuracy = engine.evaluate(dataset.val_ids)
+        assert accuracy > 5.0 / dataset.num_classes
+
+    def test_loss_decreases(self, dataset, partition):
+        engine = build_engine(dataset, partition)
+        first = engine.run_epoch().loss
+        for _epoch in range(8):
+            last = engine.run_epoch().loss
+        assert last < first
+
+    def test_boundary_sets_are_remote(self, dataset, partition):
+        engine = build_engine(dataset, partition)
+        for part, boundary in enumerate(engine.boundary):
+            assert np.all(partition.assignment[boundary] != part)
+
+    def test_single_machine_no_comm(self, dataset):
+        solo = HashPartitioner().partition(dataset.graph, 1,
+                                           rng=np.random.default_rng(0))
+        engine = build_engine(dataset, solo)
+        stats = engine.run_epoch()
+        assert stats.dt_seconds == 0.0
+        assert stats.allreduce_seconds == 0.0
+
+    def test_negative_staleness_rejected(self, dataset, partition):
+        with pytest.raises(TrainingError):
+            build_engine(dataset, partition, staleness=-1)
+
+
+class TestStaleness:
+    def test_stale_epochs_skip_comm(self, dataset, partition):
+        engine = build_engine(dataset, partition, staleness=2)
+        fresh = engine.run_epoch()       # epoch 0: refresh
+        stale = engine.run_epoch()       # epoch 1: stale
+        assert stale.dt_seconds == 0.0
+        assert fresh.dt_seconds > 0.0
+
+    def test_refresh_cadence(self, dataset, partition):
+        engine = build_engine(dataset, partition, staleness=1)
+        dt = [engine.run_epoch().dt_seconds for _epoch in range(4)]
+        # refresh, stale, refresh, stale
+        assert dt[0] > 0 and dt[2] > 0
+        assert dt[1] == 0 and dt[3] == 0
+
+    def test_staleness_reduces_mean_epoch_time(self, dataset, partition):
+        plain = build_engine(dataset, partition, staleness=0)
+        stale = build_engine(dataset, partition, staleness=3)
+        plain_time = np.mean([plain.run_epoch().epoch_seconds
+                              for _epoch in range(8)])
+        stale_time = np.mean([stale.run_epoch().epoch_seconds
+                              for _epoch in range(8)])
+        assert stale_time < plain_time
+
+    def test_stale_training_still_learns(self, dataset, partition):
+        engine = build_engine(dataset, partition, staleness=3)
+        for _epoch in range(15):
+            engine.run_epoch()
+        accuracy = engine.evaluate(dataset.val_ids)
+        assert accuracy > 5.0 / dataset.num_classes
+
+    def test_stale_close_to_fresh_accuracy(self, dataset, partition):
+        fresh = build_engine(dataset, partition, staleness=0, seed=2)
+        stale = build_engine(dataset, partition, staleness=3, seed=2)
+        for _epoch in range(15):
+            fresh.run_epoch()
+            stale.run_epoch()
+        fresh_acc = fresh.evaluate(dataset.val_ids)
+        stale_acc = stale.evaluate(dataset.val_ids)
+        assert stale_acc > fresh_acc - 0.15
+
+
+class TestNewTensorOps:
+    def test_mask_rows_values(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        replacement = np.zeros((4, 3))
+        out = x.mask_rows([1, 3], replacement)
+        assert np.allclose(out.data[[0, 2]], 0.0)
+        assert np.allclose(out.data[1], [3, 4, 5])
+
+    def test_mask_rows_gradient_routing(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        out = x.mask_rows([0, 2], np.zeros((4, 3)))
+        out.sum().backward()
+        assert np.allclose(x.grad[[0, 2]], 1.0)
+        assert np.allclose(x.grad[[1, 3]], 0.0)
+
+    def test_mask_rows_shape_mismatch(self):
+        x = Tensor(np.ones((4, 3)))
+        with pytest.raises(TrainingError):
+            x.mask_rows([0], np.zeros((5, 3)))
+
+    def test_assemble_rows_roundtrip(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(2 * np.ones((2, 3)), requires_grad=True)
+        out = Tensor.assemble_rows([a, b], [[0, 2], [1, 3]], 4)
+        assert np.allclose(out.data[[0, 2]], 1.0)
+        assert np.allclose(out.data[[1, 3]], 2.0)
+        (out * 3.0).sum().backward()
+        assert np.allclose(a.grad, 3.0)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_assemble_rows_requires_partition(self):
+        a = Tensor(np.ones((2, 3)))
+        with pytest.raises(TrainingError):
+            Tensor.assemble_rows([a], [[0, 0]], 2)

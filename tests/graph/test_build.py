@@ -1,0 +1,85 @@
+"""Unit tests for graph construction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import from_edges, relabel, remove_self_loops, symmetrize
+
+
+class TestFromEdges:
+    def test_dedup(self):
+        g = from_edges([0, 0, 0], [1, 1, 2], 3)
+        assert g.num_edges == 2
+
+    def test_keep_duplicates_when_disabled(self):
+        g = from_edges([0, 0], [1, 1], 2, dedup=False)
+        assert g.num_edges == 2
+
+    def test_self_loops_dropped(self):
+        g = from_edges([0, 1], [0, 0], 2)
+        assert g.num_edges == 1
+
+    def test_self_loops_kept_when_asked(self):
+        g = from_edges([0], [0], 1, drop_self_loops=False)
+        assert g.num_edges == 1
+        assert g.has_edge(0, 0)
+
+    def test_symmetrize_flag(self):
+        g = from_edges([0], [1], 2, symmetrize_edges=True)
+        assert g.is_symmetric
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(GraphError):
+            from_edges([0, 1], [0], 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphError):
+            from_edges([0], [5], 2)
+
+    def test_negative_id(self):
+        with pytest.raises(GraphError):
+            from_edges([-1], [0], 2)
+
+    def test_sorted_rows(self):
+        g = from_edges([1, 0, 1, 0], [0, 2, 2, 1], 3)
+        assert list(g.out_neighbors(0)) == [1, 2]
+        assert list(g.out_neighbors(1)) == [0, 2]
+
+
+class TestTransforms:
+    def test_symmetrize(self):
+        g = symmetrize(from_edges([0, 1], [1, 2], 3))
+        assert g.is_symmetric
+        assert g.num_edges == 4
+
+    def test_symmetrize_idempotent(self):
+        g = from_edges([0], [1], 2, symmetrize_edges=True)
+        assert symmetrize(g) is g
+
+    def test_remove_self_loops(self):
+        g = from_edges([0, 0], [0, 1], 2, drop_self_loops=False)
+        cleaned = remove_self_loops(g)
+        assert cleaned.num_edges == 1
+        assert not cleaned.has_edge(0, 0)
+
+    def test_relabel(self):
+        g = from_edges([0, 1], [1, 2], 3)
+        swapped = relabel(g, [2, 1, 0])  # 0<->2
+        assert swapped.has_edge(2, 1)
+        assert swapped.has_edge(1, 0)
+
+    def test_relabel_bad_permutation(self):
+        g = from_edges([0], [1], 2)
+        with pytest.raises(GraphError):
+            relabel(g, [0, 0])
+
+    def test_relabel_preserves_degree_multiset(self):
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 50, 300)
+        dst = rng.integers(0, 50, 300)
+        g = from_edges(src, dst, 50)
+        perm = rng.permutation(50)
+        h = relabel(g, perm)
+        assert sorted(g.out_degrees) == sorted(h.out_degrees)

@@ -1,0 +1,96 @@
+"""Unit tests for the dataset suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import (DATASET_SPECS, dataset_names, dataset_table,
+                         degree_gini, load_dataset)
+
+
+class TestRegistry:
+    def test_nine_datasets_like_table2(self):
+        assert len(dataset_names()) == 9
+
+    def test_table2_feature_dims(self):
+        assert DATASET_SPECS["reddit"].feature_dim == 602
+        assert DATASET_SPECS["ogb-arxiv"].feature_dim == 128
+        assert DATASET_SPECS["ogb-products"].feature_dim == 100
+        assert DATASET_SPECS["amazon"].feature_dim == 200
+        assert DATASET_SPECS["enwiki-links"].feature_dim == 600
+
+    def test_table2_classes(self):
+        assert DATASET_SPECS["reddit"].num_classes == 41
+        assert DATASET_SPECS["ogb-papers"].num_classes == 172
+        assert DATASET_SPECS["amazon"].num_classes == 107
+
+    def test_papers_is_flat_everything_else_skewed(self):
+        assert not DATASET_SPECS["ogb-papers"].power_law
+        assert DATASET_SPECS["reddit"].power_law
+
+    def test_livejournal_family_unlabeled(self):
+        for name in ("livejournal", "lj-large", "lj-links", "enwiki-links"):
+            assert not DATASET_SPECS[name].labeled
+
+    def test_table_rows(self):
+        rows = dataset_table()
+        assert len(rows) == 9
+        assert all(row["#hidden"] == 128 for row in rows)
+
+
+class TestLoading:
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imaginary")
+
+    def test_case_insensitive(self):
+        assert load_dataset("Reddit", scale=0.25).name == "reddit"
+
+    def test_shapes_consistent(self):
+        ds = load_dataset("ogb-arxiv", scale=0.5)
+        n = ds.num_vertices
+        assert ds.features.shape == (n, ds.spec.feature_dim)
+        assert ds.labels.shape == (n,)
+        assert ds.labels.min() >= 0
+        assert ds.labels.max() < ds.num_classes
+        ds.split.validate()
+
+    def test_split_ratio(self):
+        ds = load_dataset("ogb-products", scale=0.5)
+        n = ds.num_vertices
+        assert abs(len(ds.train_ids) / n - 0.65) < 0.02
+        assert abs(len(ds.val_ids) / n - 0.10) < 0.02
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("amazon", scale=0.25)
+        b = load_dataset("amazon", scale=0.25)
+        assert a is b
+
+    def test_no_cache_builds_fresh_equal_dataset(self):
+        a = load_dataset("amazon", scale=0.25, cache=False)
+        b = load_dataset("amazon", scale=0.25, cache=False)
+        assert a is not b
+        assert a.graph == b.graph
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("reddit", scale=0.25)
+        big = load_dataset("reddit", scale=0.5)
+        assert big.num_vertices > small.num_vertices
+
+    def test_degree_regimes(self):
+        skewed = load_dataset("amazon", scale=0.5)
+        flat = load_dataset("ogb-papers", scale=0.5)
+        assert degree_gini(skewed.graph) > degree_gini(flat.graph) + 0.15
+
+    def test_labeled_dataset_has_community_signal(self):
+        ds = load_dataset("ogb-arxiv", scale=0.5)
+        src, dst = ds.graph.edges()
+        same_label = (ds.labels[src] == ds.labels[dst]).mean()
+        # Far above the 1/40 chance rate: labels follow communities.
+        assert same_label > 0.3
+
+    def test_feature_bytes(self):
+        ds = load_dataset("ogb-arxiv", scale=0.25)
+        assert ds.feature_bytes([0, 1]) == 2 * ds.feature_dim * 4
+        assert ds.feature_bytes() == ds.num_vertices * ds.feature_dim * 4

@@ -1,0 +1,102 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (degree_gini, erdos_renyi_graph, flat_graph,
+                         planted_partition_graph, power_law_graph,
+                         power_law_weights)
+from repro.graph.generators import assign_communities
+
+
+class TestPowerLawGraph:
+    def test_reaches_target_density(self):
+        g, _ = power_law_graph(1000, 20, np.random.default_rng(0))
+        avg = g.num_edges / g.num_vertices
+        assert 15 <= avg <= 25
+
+    def test_is_symmetric(self):
+        g, _ = power_law_graph(300, 10, np.random.default_rng(1))
+        src, dst = g.edges()
+        reverse = set(zip(dst.tolist(), src.tolist()))
+        assert set(zip(src.tolist(), dst.tolist())) == reverse
+
+    def test_skewed_degrees(self):
+        g, _ = power_law_graph(1500, 30, np.random.default_rng(2),
+                               exponent=2.05)
+        assert degree_gini(g) > 0.3
+
+    def test_more_skew_with_lower_exponent(self):
+        g_low, _ = power_law_graph(1500, 20, np.random.default_rng(3),
+                                   exponent=1.9)
+        g_high, _ = power_law_graph(1500, 20, np.random.default_rng(3),
+                                    exponent=3.0)
+        assert degree_gini(g_low) > degree_gini(g_high)
+
+    def test_bad_exponent(self):
+        with pytest.raises(GraphError):
+            power_law_weights(10, 1.0, np.random.default_rng(0))
+
+    def test_community_labels_match(self):
+        g, comm = power_law_graph(500, 10, np.random.default_rng(4),
+                                  num_communities=5)
+        assert len(comm) == g.num_vertices
+        assert set(np.unique(comm)) == set(range(5))
+
+
+class TestFlatGraph:
+    def test_flat_degrees(self):
+        g, _ = flat_graph(1500, 20, np.random.default_rng(5))
+        assert degree_gini(g) < 0.2
+
+    def test_erdos_renyi(self):
+        g = erdos_renyi_graph(800, 12, np.random.default_rng(6))
+        avg = g.num_edges / g.num_vertices
+        assert 9 <= avg <= 14
+
+
+class TestCommunityStructure:
+    def test_mixing_controls_intra_fraction(self):
+        rng = np.random.default_rng(7)
+        g, comm = planted_partition_graph(1200, 8, 20, rng, mixing=0.05)
+        src, dst = g.edges()
+        intra = (comm[src] == comm[dst]).mean()
+        assert intra > 0.8
+
+        rng = np.random.default_rng(7)
+        g2, comm2 = planted_partition_graph(1200, 8, 20, rng, mixing=0.9)
+        src2, dst2 = g2.edges()
+        intra2 = (comm2[src2] == comm2[dst2]).mean()
+        assert intra2 < 0.4
+
+    def test_invalid_mixing(self):
+        with pytest.raises(GraphError):
+            flat_graph(100, 5, np.random.default_rng(0), mixing=1.5)
+
+    def test_contiguous_assignment_blocks(self):
+        comm = assign_communities(100, 4, np.random.default_rng(0))
+        assert list(np.unique(comm)) == [0, 1, 2, 3]
+        assert np.all(np.diff(comm) >= 0)  # blocks are contiguous
+
+    def test_random_assignment(self):
+        comm = assign_communities(1000, 4, np.random.default_rng(0),
+                                  contiguous=False)
+        counts = np.bincount(comm, minlength=4)
+        assert counts.min() > 150  # roughly balanced
+
+    def test_zero_communities_raises(self):
+        with pytest.raises(GraphError):
+            assign_communities(10, 0, np.random.default_rng(0))
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        g1, _ = power_law_graph(400, 10, np.random.default_rng(42))
+        g2, _ = power_law_graph(400, 10, np.random.default_rng(42))
+        assert g1 == g2
+
+    def test_different_seed_different_graph(self):
+        g1, _ = power_law_graph(400, 10, np.random.default_rng(1))
+        g2, _ = power_law_graph(400, 10, np.random.default_rng(2))
+        assert g1 != g2

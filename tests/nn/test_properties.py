@@ -1,0 +1,66 @@
+"""Property-based tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, softmax, softmax_cross_entropy
+
+floats = st.floats(min_value=-5, max_value=5, allow_nan=False,
+                   allow_infinity=False, width=32)
+
+
+def matrices(rows=st.integers(1, 6), cols=st.integers(1, 6)):
+    return st.tuples(rows, cols).flatmap(
+        lambda shape: hnp.arrays(np.float32, shape, elements=floats))
+
+
+class TestAlgebraicProperties:
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_linearity_of_grad(self, data):
+        x = Tensor(data, requires_grad=True)
+        (x * 3.0).sum().backward()
+        assert np.allclose(x.grad, 3.0)
+
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_relu_grad_is_mask(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.relu().sum().backward()
+        assert np.allclose(x.grad, (data > 0).astype(np.float32))
+
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_rows_are_distributions(self, data):
+        probs = softmax(data)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-5)
+
+    @given(matrices(rows=st.integers(2, 6), cols=st.integers(2, 6)),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_cross_entropy_nonnegative(self, data, seed):
+        labels = np.random.default_rng(seed).integers(
+            0, data.shape[1], size=data.shape[0])
+        loss = softmax_cross_entropy(data, labels)
+        assert loss.item() >= 0.0
+
+    @given(matrices(rows=st.integers(2, 6), cols=st.integers(2, 6)),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_cross_entropy_grad_rows_sum_to_zero(self, data, seed):
+        """d(loss)/d(logits) rows sum to 0: softmax minus one-hot."""
+        labels = np.random.default_rng(seed).integers(
+            0, data.shape[1], size=data.shape[0])
+        x = Tensor(data, requires_grad=True)
+        softmax_cross_entropy(x, labels).backward()
+        assert np.allclose(x.grad.sum(axis=-1), 0.0, atol=1e-5)

@@ -1,0 +1,88 @@
+"""Unit tests for partition base types and hash partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import load_dataset
+from repro.partition import (HashPartitioner, PartitionResult,
+                             check_num_parts, hash_vertices)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("ogb-arxiv", scale=0.25)
+
+
+class TestPartitionResult:
+    def test_sizes_and_part_vertices(self):
+        res = PartitionResult(np.array([0, 1, 0, 1, 1]), 2, "x")
+        assert list(res.sizes()) == [2, 3]
+        assert list(res.part_vertices(0)) == [0, 2]
+
+    def test_out_of_range_assignment(self):
+        with pytest.raises(PartitionError):
+            PartitionResult(np.array([0, 5]), 2, "x")
+
+    def test_replicas_shape_checked(self):
+        with pytest.raises(PartitionError):
+            PartitionResult(np.array([0, 1]), 2, "x",
+                            replicas=np.zeros((3, 2), dtype=bool))
+
+    def test_owner_always_replicated(self):
+        res = PartitionResult(np.array([0, 1]), 2, "x",
+                              replicas=np.zeros((2, 2), dtype=bool))
+        assert res.replicas[0, 0] and res.replicas[1, 1]
+
+    def test_is_local_with_replicas(self):
+        replicas = np.zeros((2, 3), dtype=bool)
+        replicas[0, 2] = True  # part 0 caches vertex 2
+        res = PartitionResult(np.array([0, 1, 1]), 2, "x", replicas=replicas)
+        assert list(res.is_local(0, [0, 1, 2])) == [True, False, True]
+        assert list(res.is_local(1, [0, 1, 2])) == [False, True, True]
+
+    def test_replication_factor(self):
+        replicas = np.ones((2, 4), dtype=bool)
+        res = PartitionResult(np.array([0, 0, 1, 1]), 2, "x",
+                              replicas=replicas)
+        assert res.replication_factor() == 2.0
+
+    def test_check_num_parts(self):
+        with pytest.raises(PartitionError):
+            check_num_parts(3, 0)
+        with pytest.raises(PartitionError):
+            check_num_parts(3, 4)
+        check_num_parts(3, 3)  # no raise
+
+
+class TestHashPartitioner:
+    def test_balanced_sizes(self, dataset):
+        res = HashPartitioner().partition(dataset.graph, 4,
+                                          rng=np.random.default_rng(0))
+        sizes = res.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_hash_vertices_balanced(self):
+        assignment = hash_vertices(103, 4, np.random.default_rng(0))
+        sizes = np.bincount(assignment, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_edge_hash_covers_all(self, dataset):
+        res = HashPartitioner(by="edge").partition(
+            dataset.graph, 4, rng=np.random.default_rng(0))
+        assert res.num_vertices == dataset.num_vertices
+        assert set(np.unique(res.assignment)) <= set(range(4))
+
+    def test_invalid_mode(self):
+        with pytest.raises(PartitionError):
+            HashPartitioner(by="magic")
+
+    def test_timing_recorded(self, dataset):
+        res = HashPartitioner().partition(dataset.graph, 2,
+                                          rng=np.random.default_rng(0))
+        assert res.seconds >= 0.0
+
+    def test_method_name(self, dataset):
+        res = HashPartitioner().partition(dataset.graph, 2,
+                                          rng=np.random.default_rng(0))
+        assert res.method == "hash"

@@ -1,0 +1,78 @@
+"""Property-based tests for partitioners."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import power_law_graph, split_vertices
+from repro.partition import (HashPartitioner, MetisPartitioner,
+                             StreamBPartitioner, metis_partition)
+
+
+@st.composite
+def graph_cases(draw):
+    n = draw(st.integers(min_value=16, max_value=200))
+    degree = draw(st.integers(min_value=2, max_value=8))
+    k = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n, degree, k, seed
+
+
+def build(n, degree, seed):
+    rng = np.random.default_rng(seed)
+    graph, _ = power_law_graph(n, degree, rng, num_communities=4)
+    split = split_vertices(n, rng)
+    return graph, split
+
+
+class TestPartitionInvariants:
+    @given(graph_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_hash_assigns_every_vertex_once(self, case):
+        n, degree, k, seed = case
+        graph, _split = build(n, degree, seed)
+        res = HashPartitioner().partition(graph, k,
+                                          rng=np.random.default_rng(seed))
+        assert len(res.assignment) == n
+        assert res.sizes().sum() == n
+        assert res.assignment.min() >= 0 and res.assignment.max() < k
+
+    @given(graph_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_metis_assigns_every_vertex_once(self, case):
+        n, degree, k, seed = case
+        graph, _split = build(n, degree, seed)
+        assignment = metis_partition(graph, k,
+                                     rng=np.random.default_rng(seed))
+        assert len(assignment) == n
+        assert np.bincount(assignment, minlength=k).sum() == n
+
+    @given(graph_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_metis_balance_bounded(self, case):
+        n, degree, k, seed = case
+        graph, _split = build(n, degree, seed)
+        assignment = metis_partition(graph, k,
+                                     rng=np.random.default_rng(seed))
+        sizes = np.bincount(assignment, minlength=k)
+        # The balance pass guarantees no part is catastrophically small.
+        assert sizes.max() <= 2.0 * max(sizes.mean(), 1)
+
+    @given(graph_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_metis_variants_assign_all(self, case):
+        n, degree, k, seed = case
+        graph, split = build(n, degree, seed)
+        res = MetisPartitioner("vet").partition(
+            graph, k, split=split, rng=np.random.default_rng(seed))
+        assert res.sizes().sum() == n
+
+    @given(graph_cases())
+    @settings(max_examples=10, deadline=None)
+    def test_stream_b_assigns_all(self, case):
+        n, degree, k, seed = case
+        graph, split = build(n, degree, seed)
+        res = StreamBPartitioner(block_size=8).partition(
+            graph, k, split=split, rng=np.random.default_rng(seed))
+        assert res.sizes().sum() == n
+        assert res.assignment.min() >= 0

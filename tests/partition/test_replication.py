@@ -1,0 +1,92 @@
+"""Unit tests for partition-aware feature replication (SALIENT++)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import load_dataset
+from repro.partition import (MetisPartitioner, measure_workload,
+                             partition_aware_replication,
+                             remote_access_frequencies)
+from repro.sampling import NeighborSampler
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("ogb-arxiv", scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def partition(dataset):
+    return MetisPartitioner("ve").partition(
+        dataset.graph, 4, split=dataset.split,
+        rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def sampler():
+    return NeighborSampler((8, 8))
+
+
+class TestFrequencies:
+    def test_counts_only_remote(self, dataset, partition, sampler):
+        counts = remote_access_frequencies(
+            dataset, partition, sampler, np.random.default_rng(0),
+            epochs=1)
+        for part in range(partition.num_parts):
+            owned = partition.part_vertices(part)
+            assert counts[part][owned].sum() == 0
+
+    def test_shape(self, dataset, partition, sampler):
+        counts = remote_access_frequencies(
+            dataset, partition, sampler, np.random.default_rng(0),
+            epochs=1)
+        assert counts.shape == (4, dataset.num_vertices)
+
+
+class TestReplication:
+    def test_budget_bounds_replicas(self, dataset, partition, sampler):
+        replicated = partition_aware_replication(
+            dataset, partition, sampler, 0.1,
+            rng=np.random.default_rng(1))
+        budget = round(0.1 * dataset.num_vertices)
+        extra = replicated.replicas.sum(axis=1) - replicated.sizes()
+        assert np.all(extra <= budget)
+
+    def test_zero_budget_is_noop(self, dataset, partition, sampler):
+        replicated = partition_aware_replication(
+            dataset, partition, sampler, 0.0,
+            rng=np.random.default_rng(1))
+        assert replicated.replication_factor() == pytest.approx(1.0)
+
+    def test_reduces_communication(self, dataset, partition, sampler):
+        base = measure_workload(dataset, partition, sampler, 256,
+                                rng=np.random.default_rng(2))
+        replicated = partition_aware_replication(
+            dataset, partition, sampler, 0.3,
+            rng=np.random.default_rng(1))
+        after = measure_workload(dataset, replicated, sampler, 256,
+                                 rng=np.random.default_rng(2))
+        assert after.total_comm_bytes < 0.85 * base.total_comm_bytes
+
+    def test_bigger_budget_less_comm(self, dataset, partition, sampler):
+        volumes = []
+        for budget in (0.1, 0.4):
+            replicated = partition_aware_replication(
+                dataset, partition, sampler, budget,
+                rng=np.random.default_rng(1))
+            report = measure_workload(dataset, replicated, sampler, 256,
+                                      rng=np.random.default_rng(2))
+            volumes.append(report.total_comm_bytes)
+        assert volumes[1] < volumes[0]
+
+    def test_ownership_unchanged(self, dataset, partition, sampler):
+        replicated = partition_aware_replication(
+            dataset, partition, sampler, 0.2,
+            rng=np.random.default_rng(1))
+        assert np.array_equal(replicated.assignment, partition.assignment)
+        assert replicated.method.endswith("+repl")
+
+    def test_invalid_budget(self, dataset, partition, sampler):
+        with pytest.raises(PartitionError):
+            partition_aware_replication(dataset, partition, sampler, 1.5)

@@ -1,0 +1,87 @@
+"""Unit tests for sampled-block structures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling import SampledSubgraph, build_block
+
+
+class TestBuildBlock:
+    def test_simple_block(self):
+        block = build_block([5, 7], [5, 5, 7], [7, 9, 11])
+        assert list(block.dst_nodes) == [5, 7]
+        # Sources: destinations first, then the new vertices.
+        assert list(block.src_nodes[:2]) == [5, 7]
+        assert set(block.src_nodes) == {5, 7, 9, 11}
+        assert block.num_edges == 3
+        block.validate()
+
+    def test_dedup_edges(self):
+        block = build_block([1], [1, 1, 1], [2, 2, 3])
+        assert block.num_edges == 2
+
+    def test_empty_edges(self):
+        block = build_block([3], [], [])
+        assert block.num_edges == 0
+        assert block.num_src == 1
+        block.validate()
+
+    def test_degrees(self):
+        block = build_block([1, 2], [1, 1, 2], [3, 4, 3])
+        assert list(block.degrees()) == [2, 1]
+
+    def test_self_loop_edge_allowed(self):
+        block = build_block([1], [1], [1])
+        assert block.num_edges == 1
+        assert block.indices[0] == 0  # local id of vertex 1
+
+    def test_unknown_destination_raises(self):
+        with pytest.raises(SamplingError):
+            build_block([1], [2], [3])
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(SamplingError):
+            build_block([1], [1, 1], [2])
+
+    def test_validate_catches_src_order_violation(self):
+        block = build_block([1, 2], [1], [3])
+        block.src_nodes = block.src_nodes[::-1].copy()
+        with pytest.raises(SamplingError):
+            block.validate()
+
+
+class TestSampledSubgraph:
+    def build_two_layer(self):
+        outer = build_block([1], [1, 1], [2, 3])
+        inner = build_block(outer.src_nodes, [2, 3], [4, 5])
+        return SampledSubgraph(seeds=np.array([1]), blocks=[inner, outer])
+
+    def test_chaining_validates(self):
+        sg = self.build_two_layer()
+        sg.validate()
+
+    def test_input_nodes_deepest_layer(self):
+        sg = self.build_two_layer()
+        assert set(sg.input_nodes) == {1, 2, 3, 4, 5}
+
+    def test_total_edges(self):
+        sg = self.build_two_layer()
+        assert sg.total_edges == 4
+
+    def test_unique_vertices(self):
+        sg = self.build_two_layer()
+        assert set(sg.unique_vertices()) == {1, 2, 3, 4, 5}
+
+    def test_broken_chain_detected(self):
+        outer = build_block([1], [1], [2])
+        inner = build_block([9, 9], [], [])  # wrong dst set
+        sg = SampledSubgraph(seeds=np.array([1]), blocks=[inner, outer])
+        with pytest.raises(SamplingError):
+            sg.validate()
+
+    def test_wrong_seed_block_detected(self):
+        outer = build_block([2], [2], [3])
+        sg = SampledSubgraph(seeds=np.array([1]), blocks=[outer])
+        with pytest.raises(SamplingError):
+            sg.validate()

@@ -1,0 +1,167 @@
+"""Failure-injection tests: degenerate and adversarial inputs.
+
+The library should either handle these gracefully or fail with its own
+typed errors — never crash with a bare numpy/scipy exception.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Trainer, TrainingConfig
+from repro.errors import ReproError
+from repro.graph import Dataset, from_edges, load_dataset, split_vertices
+from repro.graph.datasets import DATASET_SPECS
+from repro.nn import build_model, softmax_cross_entropy
+from repro.partition import (HashPartitioner, MetisPartitioner,
+                             StreamBPartitioner, metis_partition)
+from repro.sampling import NeighborSampler
+
+
+def make_dataset(graph, num_classes=4, feature_dim=8, seed=0):
+    """Wrap an arbitrary graph as a Dataset with random labels."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    features = rng.normal(size=(n, feature_dim)).astype(np.float32)
+    labels = rng.integers(0, num_classes, size=n)
+    split = split_vertices(n, rng)
+    spec = DATASET_SPECS["ogb-arxiv"]
+    return Dataset(spec=spec, graph=graph, features=features,
+                   labels=labels, split=split)
+
+
+def disconnected_graph(num_components=3, component_size=40, degree=4):
+    rng = np.random.default_rng(0)
+    src, dst = [], []
+    for c in range(num_components):
+        offset = c * component_size
+        for _edge in range(component_size * degree):
+            src.append(offset + rng.integers(component_size))
+            dst.append(offset + rng.integers(component_size))
+    return from_edges(src, dst, num_components * component_size,
+                      symmetrize_edges=True)
+
+
+def star_graph(leaves=60):
+    return from_edges([0] * leaves, list(range(1, leaves + 1)),
+                      leaves + 1, symmetrize_edges=True)
+
+
+class TestDegenerateGraphs:
+    def test_metis_on_disconnected_graph(self):
+        graph = disconnected_graph()
+        assignment = metis_partition(graph, 3,
+                                     rng=np.random.default_rng(0))
+        assert len(assignment) == graph.num_vertices
+        sizes = np.bincount(assignment, minlength=3)
+        assert sizes.min() > 0
+
+    def test_stream_b_on_disconnected_graph(self):
+        graph = disconnected_graph()
+        dataset = make_dataset(graph)
+        result = StreamBPartitioner(block_size=8).partition(
+            graph, 2, split=dataset.split, rng=np.random.default_rng(0))
+        assert result.sizes().sum() == graph.num_vertices
+
+    def test_sampling_star_graph(self):
+        graph = star_graph()
+        sampler = NeighborSampler((5, 5))
+        subgraph = sampler.sample(graph, [0, 1, 2],
+                                  np.random.default_rng(0))
+        subgraph.validate()
+        # The hub keeps at most 5 of its 60 neighbors.
+        hub_row = np.flatnonzero(subgraph.blocks[-1].dst_nodes == 0)
+        assert subgraph.blocks[-1].degrees()[hub_row[0]] <= 5
+
+    def test_training_on_star_graph(self):
+        dataset = make_dataset(star_graph(100))
+        config = TrainingConfig(epochs=2, batch_size=16, fanout=(3, 3),
+                                num_workers=2, partitioner="hash")
+        result = Trainer(dataset, config).run()
+        assert result.curve.num_epochs == 2
+
+    def test_isolated_seed_vertices(self):
+        # Vertices 5..9 have no edges at all.
+        graph = from_edges([0, 1, 2], [1, 2, 3], 10,
+                           symmetrize_edges=True)
+        sampler = NeighborSampler((4, 4))
+        subgraph = sampler.sample(graph, [5, 6, 7],
+                                  np.random.default_rng(0))
+        subgraph.validate()
+        assert subgraph.total_edges == 0
+        # The model still produces logits (self-loop aggregation).
+        dataset = make_dataset(graph)
+        model = build_model("gcn", dataset.features.shape[1], 4,
+                            rng=np.random.default_rng(0))
+        logits = model.forward(subgraph,
+                               dataset.features[subgraph.input_nodes])
+        assert logits.shape == (3, 4)
+        loss = softmax_cross_entropy(logits,
+                                     dataset.labels[subgraph.seeds])
+        loss.backward()  # gradients flow without error
+
+    def test_dense_clique_training(self):
+        n = 30
+        src, dst = np.meshgrid(np.arange(n), np.arange(n))
+        graph = from_edges(src.ravel(), dst.ravel(), n,
+                           symmetrize_edges=True)
+        dataset = make_dataset(graph)
+        config = TrainingConfig(epochs=2, batch_size=8, fanout=(3, 3),
+                                num_workers=2, partitioner="metis-ve")
+        result = Trainer(dataset, config).run()
+        assert result.curve.num_epochs == 2
+
+
+class TestDegenerateLabelsAndFeatures:
+    def test_single_class_dataset(self):
+        graph = disconnected_graph(2, 30)
+        dataset = make_dataset(graph, num_classes=1)
+        config = TrainingConfig(epochs=2, batch_size=16, fanout=(3, 3),
+                                num_workers=1, partitioner="hash")
+        result = Trainer(dataset, config).run()
+        # One class: accuracy is trivially 1.0 once anything trains.
+        assert result.best_val_accuracy == 1.0
+
+    def test_extreme_feature_values(self):
+        graph = disconnected_graph(2, 30)
+        dataset = make_dataset(graph)
+        dataset.features *= 1e4
+        config = TrainingConfig(epochs=2, batch_size=16, fanout=(3, 3),
+                                num_workers=1, partitioner="hash",
+                                learning_rate=1e-5)
+        result = Trainer(dataset, config).run()
+        assert np.isfinite(result.curve.losses).all()
+
+    def test_zero_features(self):
+        graph = disconnected_graph(2, 30)
+        dataset = make_dataset(graph)
+        dataset.features[:] = 0.0
+        config = TrainingConfig(epochs=2, batch_size=16, fanout=(3, 3),
+                                num_workers=1, partitioner="hash")
+        result = Trainer(dataset, config).run()
+        assert np.isfinite(result.curve.losses).all()
+
+
+class TestTinyScale:
+    def test_minimum_dataset_scale(self):
+        dataset = load_dataset("ogb-arxiv", scale=0.001)  # floor of 64
+        assert dataset.num_vertices == 64
+        config = TrainingConfig(epochs=2, batch_size=8, fanout=(2, 2),
+                                num_workers=2, partitioner="hash")
+        result = Trainer(dataset, config).run()
+        assert result.curve.num_epochs == 2
+
+    def test_two_vertex_graph_partition(self):
+        graph = from_edges([0], [1], 2, symmetrize_edges=True)
+        result = HashPartitioner().partition(graph, 2,
+                                             rng=np.random.default_rng(0))
+        assert sorted(result.assignment) == [0, 1]
+
+    def test_all_errors_are_repro_errors(self):
+        """The library's own failures derive from ReproError."""
+        graph = from_edges([0], [1], 2, symmetrize_edges=True)
+        with pytest.raises(ReproError):
+            HashPartitioner().partition(graph, 5)
+        with pytest.raises(ReproError):
+            NeighborSampler(())
+        with pytest.raises(ReproError):
+            MetisPartitioner("nope")

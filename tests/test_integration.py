@@ -1,0 +1,154 @@
+"""Cross-module integration tests: full pipeline combinations.
+
+Each test runs the real end-to-end path (partition → sample → transfer
+→ train → evaluate) under a different combination of the techniques the
+paper evaluates, asserting that training works and the accounting stays
+consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Trainer, TrainingConfig, load_dataset
+from repro.sampling import LayerWiseSampler, SubgraphSampler
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("ogb-arxiv", scale=0.25)
+
+
+def quick(**overrides):
+    defaults = dict(epochs=4, batch_size=128, fanout=(5, 5),
+                    num_workers=2, partitioner="hash", seed=3)
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+CHANCE = 1.0 / 40
+
+
+class TestModelVariants:
+    def test_graphsage_end_to_end(self, dataset):
+        result = Trainer(dataset, quick(model="graphsage",
+                                        epochs=6)).run()
+        assert result.best_val_accuracy > 5 * CHANCE
+
+    def test_three_layer_gcn(self, dataset):
+        result = Trainer(dataset, quick(num_layers=3,
+                                        fanout=(5, 5, 5))).run()
+        assert result.best_val_accuracy > 3 * CHANCE
+
+    def test_narrow_hidden_dim(self, dataset):
+        result = Trainer(dataset, quick(hidden_dim=32)).run()
+        assert result.curve.num_epochs == 4
+
+
+class TestPartitionerIntegration:
+    @pytest.mark.parametrize("method", ["metis-v", "metis-vet",
+                                        "stream-v", "stream-b"])
+    def test_trainer_with_each_partitioner(self, dataset, method):
+        result = Trainer(dataset, quick(partitioner=method)).run()
+        assert result.partition_method == method
+        assert result.best_val_accuracy > 2 * CHANCE
+
+    def test_stream_v_low_comm_in_trainer(self, dataset):
+        stream = Trainer(dataset, quick(partitioner="stream-v",
+                                        epochs=2)).run()
+        hashed = Trainer(dataset, quick(partitioner="hash",
+                                        epochs=2)).run()
+        stream_remote = sum(s.remote_feature_bytes
+                            for s in stream.epoch_stats)
+        hash_remote = sum(s.remote_feature_bytes
+                          for s in hashed.epoch_stats)
+        assert stream_remote < 0.3 * hash_remote
+
+
+class TestTransferIntegration:
+    @pytest.mark.parametrize("transfer", ["extract-load", "zero-copy",
+                                          "hybrid"])
+    def test_trainer_with_each_transfer(self, dataset, transfer):
+        result = Trainer(dataset, quick(transfer=transfer,
+                                        epochs=2)).run()
+        assert result.mean_epoch_seconds > 0
+
+    @pytest.mark.parametrize("policy", ["degree", "presample", "random"])
+    def test_trainer_with_each_cache(self, dataset, policy):
+        cached = Trainer(dataset, quick(cache_policy=policy,
+                                        cache_ratio=0.4,
+                                        epochs=2)).run()
+        plain = Trainer(dataset, quick(epochs=2)).run()
+        assert cached.mean_epoch_seconds <= plain.mean_epoch_seconds
+
+    @pytest.mark.parametrize("pipeline", ["none", "bp", "bp+dt"])
+    def test_trainer_with_each_pipeline(self, dataset, pipeline):
+        result = Trainer(dataset, quick(pipeline=pipeline,
+                                        epochs=2)).run()
+        assert result.mean_epoch_seconds > 0
+
+
+class TestReplicationIntegration:
+    def test_replication_budget_cuts_remote_traffic(self, dataset):
+        base = quick(partitioner="metis-ve", epochs=2, num_workers=4)
+        plain = Trainer(dataset, base).run()
+        replicated = Trainer(
+            dataset, base.with_overrides(replication_budget=0.3)).run()
+        plain_bytes = sum(s.remote_feature_bytes
+                          for s in plain.epoch_stats)
+        repl_bytes = sum(s.remote_feature_bytes
+                         for s in replicated.epoch_stats)
+        assert repl_bytes < plain_bytes
+        assert replicated.partition_method.endswith("+repl")
+
+    def test_zero_budget_leaves_method_name(self, dataset):
+        result = Trainer(dataset, quick(replication_budget=0.0,
+                                        epochs=1)).run()
+        assert not result.partition_method.endswith("+repl")
+
+
+class TestSamplerIntegration:
+    def test_trainer_with_layerwise_sampler(self, dataset):
+        result = Trainer(dataset, quick(
+            sampler=LayerWiseSampler(128, num_layers=2))).run()
+        assert result.best_val_accuracy > 2 * CHANCE
+
+    def test_trainer_with_subgraph_sampler(self, dataset):
+        result = Trainer(dataset, quick(
+            sampler=SubgraphSampler(num_layers=2,
+                                    walk_padding=0.5))).run()
+        assert result.curve.num_epochs == 4
+
+    def test_trainer_with_rate_sampler(self, dataset):
+        result = Trainer(dataset, quick(sampler="rate",
+                                        sample_rate=0.3)).run()
+        assert result.best_val_accuracy > 2 * CHANCE
+
+    def test_trainer_with_hybrid_sampler(self, dataset):
+        result = Trainer(dataset, quick(sampler="hybrid")).run()
+        assert result.best_val_accuracy > 2 * CHANCE
+
+
+class TestAccountingConsistency:
+    def test_epoch_stats_consistent_with_curve(self, dataset):
+        result = Trainer(dataset, quick()).run()
+        assert len(result.epoch_stats) == result.curve.num_epochs
+        for stats, recorded in zip(result.epoch_stats,
+                                   result.curve.epoch_seconds):
+            assert stats.epoch_seconds == pytest.approx(recorded)
+
+    def test_pipeline_never_exceeds_sequential(self, dataset):
+        """The pipelined epoch can never take longer than the sum of
+        its sequential stage times."""
+        result = Trainer(dataset, quick(pipeline="bp+dt",
+                                        num_workers=1)).run()
+        for stats in result.epoch_stats:
+            sequential = (stats.bp_seconds + stats.dt_seconds
+                          + stats.nn_seconds + stats.allreduce_seconds)
+            assert stats.epoch_seconds <= sequential + 1e-12
+
+    def test_every_epoch_covers_all_train_vertices(self, dataset):
+        result = Trainer(dataset, quick(num_workers=2, epochs=1)).run()
+        stats = result.epoch_stats[0]
+        # Seeds across workers sum to the training set per epoch.
+        assert stats.num_steps >= 1
+        assert stats.involved_vertices >= len(dataset.train_ids)

@@ -1,0 +1,87 @@
+"""Unit tests for deployment platforms."""
+
+import numpy as np
+import pytest
+
+from repro import Trainer
+from repro.core import config_for_platform
+from repro.errors import TransferError
+from repro.graph import load_dataset
+from repro.sampling import NeighborSampler
+from repro.transfer import (DEFAULT_SPEC, BatchStats, NoTransfer,
+                            cpu_cluster, gpu_cluster, multi_gpu)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("ogb-arxiv", scale=0.25)
+
+
+class TestPlatforms:
+    def test_cpu_cluster_has_no_gpu_cache(self):
+        platform = cpu_cluster(4)
+        assert not platform.supports_gpu_cache
+        assert isinstance(platform.default_transfer(), NoTransfer)
+
+    def test_cpu_cluster_slower_compute(self):
+        platform = cpu_cluster(2)
+        flops = 1e9
+        assert (platform.spec.compute_time(flops)
+                > DEFAULT_SPEC.compute_time(flops))
+
+    def test_multi_gpu_fast_interconnect(self):
+        platform = multi_gpu(4)
+        payload = 1e6
+        assert (platform.spec.network_time(payload)
+                < DEFAULT_SPEC.network_time(payload))
+
+    def test_gpu_cluster_is_default_spec(self):
+        platform = gpu_cluster(4)
+        assert platform.spec == DEFAULT_SPEC
+        assert platform.supports_gpu_cache
+
+    def test_invalid_counts(self):
+        with pytest.raises(TransferError):
+            cpu_cluster(0)
+        with pytest.raises(TransferError):
+            multi_gpu(0)
+        with pytest.raises(TransferError):
+            gpu_cluster(0)
+
+    def test_no_transfer_is_free(self, dataset):
+        sampler = NeighborSampler((4, 4))
+        subgraph = sampler.sample(dataset.graph, dataset.train_ids[:32],
+                                  np.random.default_rng(0))
+        stats = BatchStats.from_subgraph(subgraph, dataset)
+        breakdown = NoTransfer().transfer(stats, DEFAULT_SPEC)
+        assert breakdown.total_seconds == 0.0
+        assert breakdown.bytes_moved == 0
+
+    def test_str(self):
+        assert str(multi_gpu(8)) == "multi-gpu x8"
+
+
+class TestConfigForPlatform:
+    def test_fields_propagate(self):
+        platform = multi_gpu(2)
+        config = config_for_platform(platform, epochs=3)
+        assert config.num_workers == 2
+        assert config.spec is platform.spec
+        assert config.epochs == 3
+
+    def test_cpu_cluster_disables_cache(self):
+        config = config_for_platform(cpu_cluster(2), cache_policy="degree",
+                                     cache_ratio=0.5)
+        # Explicit overrides win — but the platform default clears them
+        # first, so the caller's values survive only if passed.
+        assert config.cache_policy == "degree"
+        default = config_for_platform(cpu_cluster(2))
+        assert default.cache_policy is None
+
+    def test_end_to_end_training_on_each_platform(self, dataset):
+        for platform in (cpu_cluster(2), multi_gpu(2), gpu_cluster(2)):
+            config = config_for_platform(
+                platform, epochs=2, batch_size=128, fanout=(4, 4),
+                partitioner="hash")
+            result = Trainer(dataset, config).run()
+            assert result.mean_epoch_seconds > 0
