@@ -16,8 +16,12 @@ install:
 test:
 	pytest tests/
 
+# The benchmarks are runnable scripts with a __main__ block (like the
+# examples); `pytest --benchmark-only` can't collect them without the
+# package importable, so run them the same way the examples target does.
 bench:
-	pytest benchmarks/ --benchmark-only
+	@for f in benchmarks/bench_*.py; do echo "== $$f"; \
+	  PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python $$f || exit 1; done
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

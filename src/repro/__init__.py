@@ -26,6 +26,7 @@ from .errors import (DatasetError, GraphError, PartitionError, ReproError,
                      SamplingError, TrainingError, TransferError)
 from .graph import CSRGraph, Dataset, dataset_names, load_dataset
 from .partition import all_partitioners, measure_workload
+from .perf import FLAGS, PERF, perf_overrides
 from .sampling import (HybridSampler, LayerWiseSampler, NeighborSampler,
                        RateSampler, SubgraphSampler)
 from .tasks import train_link_prediction
@@ -43,6 +44,7 @@ __all__ = [
     "NeighborSampler", "RateSampler", "HybridSampler", "LayerWiseSampler",
     "SubgraphSampler",
     "HardwareSpec", "DEFAULT_SPEC", "train_link_prediction",
+    "FLAGS", "PERF", "perf_overrides",
     "ReproError", "GraphError", "PartitionError", "SamplingError",
     "TrainingError", "TransferError", "DatasetError",
 ]

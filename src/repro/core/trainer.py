@@ -21,6 +21,7 @@ import numpy as np
 from ..dist.engine import SyncEngine
 from ..errors import TrainingError
 from ..nn import Adam, build_model
+from ..perf import FLAGS, PERF, EvalSubgraphCache
 from .config import TrainingConfig, make_cache
 from .convergence import TrainingCurve
 
@@ -28,22 +29,49 @@ __all__ = ["Trainer", "TrainingResult", "evaluate_model"]
 
 
 def evaluate_model(model, dataset, vertex_ids, sampler, rng,
-                   batch_size=1024):
-    """Sample-based inference accuracy over ``vertex_ids``."""
+                   batch_size=1024, cache=None, cache_token=0):
+    """Sample-based inference accuracy over ``vertex_ids``.
+
+    With ``cache`` (an :class:`~repro.perf.EvalSubgraphCache`), the
+    sampled mini-batch subgraphs are stored under a key derived from
+    the sampler, vertex set, batch size, and ``cache_token`` (the
+    caller's rng seed) and replayed on later identical calls — valid
+    precisely because such callers reseed ``rng`` identically, so
+    re-sampling would reproduce byte-identical subgraphs anyway.
+    """
     vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
     if len(vertex_ids) == 0:
         return 0.0
+    was_training = model.training
     model.eval()
-    correct = 0
-    for start in range(0, len(vertex_ids), batch_size):
-        batch = vertex_ids[start:start + batch_size]
-        subgraph = sampler.sample(dataset.graph, batch, rng)
-        logits = model.forward(subgraph,
-                               dataset.features[subgraph.input_nodes])
-        predictions = logits.data.argmax(axis=-1)
-        correct += int((predictions
-                        == dataset.labels[subgraph.seeds]).sum())
-    model.train()
+    try:
+        prepared = None
+        if cache is not None:
+            key = cache.make_key(sampler, vertex_ids, batch_size,
+                                 cache_token)
+            prepared = cache.get(key)
+        replay = prepared is not None
+        if not replay:
+            prepared = []
+            with PERF.timed("eval_sampling"):
+                for start in range(0, len(vertex_ids), batch_size):
+                    batch = vertex_ids[start:start + batch_size]
+                    prepared.append(
+                        sampler.sample(dataset.graph, batch, rng))
+            if cache is not None:
+                cache.put(key, prepared)
+
+        correct = 0
+        for subgraph in prepared:
+            logits = model.forward(subgraph,
+                                   dataset.features[subgraph.input_nodes])
+            predictions = logits.data.argmax(axis=-1)
+            correct += int((predictions
+                            == dataset.labels[subgraph.seeds]).sum())
+    finally:
+        # Restore whatever mode the caller had the model in (the old
+        # behaviour unconditionally flipped it into training mode).
+        model.train() if was_training else model.eval()
     return correct / len(vertex_ids)
 
 
@@ -57,6 +85,10 @@ class TrainingResult:
     partition_method: str
     epoch_stats: list = field(repr=False, default_factory=list)
     config: TrainingConfig = None
+    # Measured (not simulated) hot-path profile of this run: wall
+    # seconds and counters from ``repro.perf.PERF`` — block assembly,
+    # aggregation-matrix builds, eval-subgraph cache hits/misses.
+    perf: dict = field(repr=False, default=None)
 
     @property
     def best_val_accuracy(self):
@@ -194,6 +226,13 @@ class Trainer:
         batch_cap = self._memory_batch_cap(sampler)
         rng = config.rng(salt=100)
         eval_rng_seed = config.seed * 7_777_777 + 13
+        # The eval rng is reseeded identically every epoch, so the
+        # sampled validation subgraphs are byte-identical across epochs
+        # — prepare them once and replay (keyed on sampler/batch
+        # size/seed, so any change invalidates).
+        eval_cache = EvalSubgraphCache() if FLAGS.eval_subgraph_cache \
+            else None
+        perf_before = PERF.snapshot()
 
         curve = TrainingCurve()
         epoch_stats = []
@@ -212,7 +251,8 @@ class Trainer:
             if epoch % config.eval_every == 0 or epoch == config.epochs - 1:
                 val_acc = evaluate_model(
                     model, self.dataset, self.dataset.val_ids, sampler,
-                    np.random.default_rng(eval_rng_seed))
+                    np.random.default_rng(eval_rng_seed),
+                    cache=eval_cache, cache_token=eval_rng_seed)
             else:
                 val_acc = curve.val_accuracies[-1] if curve.num_epochs \
                     else 0.0
@@ -234,9 +274,11 @@ class Trainer:
             model.load_state_dict(best_state)
         test_acc = evaluate_model(
             model, self.dataset, self.dataset.test_ids, sampler,
-            np.random.default_rng(eval_rng_seed + 1))
+            np.random.default_rng(eval_rng_seed + 1),
+            cache=eval_cache, cache_token=eval_rng_seed + 1)
         return TrainingResult(
             curve=curve, test_accuracy=test_acc,
             partition_seconds=partition.seconds,
             partition_method=partition.method,
-            epoch_stats=epoch_stats, config=config)
+            epoch_stats=epoch_stats, config=config,
+            perf=PERF.delta(perf_before))

@@ -22,12 +22,13 @@ Remote work accounting per batch:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import TrainingError
 from ..nn import softmax_cross_entropy
+from ..perf import PERF
 from ..partition.workload import BYTES_PER_EDGE
 from ..transfer.hardware import estimate_flops
 from ..transfer.methods import BatchStats
@@ -53,6 +54,9 @@ class EpochStats:
     involved_edges: int            # total aggregation edges
     remote_feature_bytes: int
     batch_size: int
+    # Measured (not simulated) hot-path wall seconds and counters
+    # accumulated during this epoch (``repro.perf.PERF`` delta).
+    perf: dict = field(repr=False, default=None)
 
     def breakdown(self):
         """Step shares of the (sequential) work — Figure 2's quantities."""
@@ -202,6 +206,7 @@ class SyncEngine:
         graph = self.dataset.graph
         labels = self.dataset.labels
         features = self.dataset.features
+        perf_before = PERF.snapshot()
 
         per_worker_batches = []
         for worker in self.workers:
@@ -272,4 +277,5 @@ class SyncEngine:
             involved_vertices=vertices,
             involved_edges=edges,
             remote_feature_bytes=remote_bytes,
-            batch_size=batch_size)
+            batch_size=batch_size,
+            perf=PERF.delta(perf_before))

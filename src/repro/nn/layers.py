@@ -13,6 +13,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import TrainingError
+from ..perf import FLAGS, PERF
 from .init import xavier_uniform, zeros
 from .tensor import Tensor
 
@@ -142,19 +143,40 @@ def block_aggregation_matrix(block, self_loops=True):
     Mean aggregation over sampled in-neighbors (plus the vertex itself
     when ``self_loops``), i.e. each row sums to 1 — the standard
     normalization for GCN-style layers on sampled blocks.
+
+    The operator depends only on the block's structure and
+    ``self_loops``, so it is memoized on the block: forward, backward
+    (through spmm's transpose), and repeated evaluations over a cached
+    block all reuse one CSR instead of rebuilding it per call.
+    Consumers must treat the returned matrix as read-only.
     """
-    rows = np.repeat(np.arange(block.num_dst), block.degrees())
-    cols = block.indices
-    if self_loops:
-        rows = np.concatenate([rows, np.arange(block.num_dst)])
-        cols = np.concatenate([cols, np.arange(block.num_dst)])
-    data = np.ones(len(rows), dtype=np.float32)
-    matrix = sp.csr_matrix((data, (rows, cols)),
-                           shape=(block.num_dst, block.num_src))
-    degree = np.asarray(matrix.sum(axis=1)).ravel()
-    degree[degree == 0] = 1.0
-    scale = sp.diags((1.0 / degree).astype(np.float32))
-    return (scale @ matrix).tocsr()
+    cache = getattr(block, "_agg_cache", None) \
+        if FLAGS.memoize_aggregation else None
+    key = bool(self_loops)
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            PERF.count("agg_matrix_hits")
+            return cached
+        PERF.count("agg_matrix_misses")
+
+    with PERF.timed("spmm_build"):
+        rows = np.repeat(np.arange(block.num_dst), block.degrees())
+        cols = block.indices
+        if self_loops:
+            rows = np.concatenate([rows, np.arange(block.num_dst)])
+            cols = np.concatenate([cols, np.arange(block.num_dst)])
+        data = np.ones(len(rows), dtype=np.float32)
+        matrix = sp.csr_matrix((data, (rows, cols)),
+                               shape=(block.num_dst, block.num_src))
+        degree = np.asarray(matrix.sum(axis=1)).ravel()
+        degree[degree == 0] = 1.0
+        scale = sp.diags((1.0 / degree).astype(np.float32))
+        matrix = (scale @ matrix).tocsr()
+
+    if cache is not None:
+        cache[key] = matrix
+    return matrix
 
 
 class GCNConv(Module):
@@ -244,12 +266,27 @@ class GATConv(Module):
 
     @staticmethod
     def _block_edges_with_self_loops(block):
-        """Edge lists in local ids, dst-side self-loops appended."""
+        """Edge lists in local ids, dst-side self-loops appended.
+
+        Memoized on the block (same lifetime argument as
+        :func:`block_aggregation_matrix`); callers must not mutate the
+        returned arrays.
+        """
+        if FLAGS.memoize_aggregation:
+            cached = getattr(block, "_edge_list_cache", None)
+            if cached is not None:
+                PERF.count("gat_edges_hits")
+                return cached
+            PERF.count("gat_edges_misses")
         edge_dst = np.repeat(np.arange(block.num_dst), block.degrees())
         edge_src = block.indices
         loops = np.arange(block.num_dst)
-        return (np.concatenate([edge_dst, loops]),
-                np.concatenate([edge_src, loops]))
+        edges = (np.concatenate([edge_dst, loops]),
+                 np.concatenate([edge_src, loops]))
+        if FLAGS.memoize_aggregation and hasattr(block,
+                                                 "_edge_list_cache"):
+            block._edge_list_cache = edges
+        return edges
 
     def forward_block(self, block, h_src):
         """Attention-weighted aggregation over the block's edges."""

@@ -255,11 +255,23 @@ class Tensor:
 
     def spmm(self, matrix):
         """Sparse aggregation ``matrix @ self`` with a fixed (non-grad)
-        scipy sparse ``matrix``; backward multiplies by its transpose."""
-        transpose = matrix.T.tocsr()
+        scipy sparse ``matrix``; backward multiplies by its transpose.
 
+        The transpose CSR is built lazily (inference never pays for it)
+        and memoized on the matrix object, so repeated backward passes
+        through a reused aggregation operator — memoized block
+        operators, the full-batch engine's persistent adjacency —
+        transpose it once.
+        """
         def backward(grad):
             if self.requires_grad:
+                transpose = getattr(matrix, "_transpose_csr", None)
+                if transpose is None:
+                    transpose = matrix.T.tocsr()
+                    try:
+                        matrix._transpose_csr = transpose
+                    except AttributeError:
+                        pass
                 self._accumulate(transpose @ grad)
 
         return self._result(matrix @ self.data, (self,), backward)

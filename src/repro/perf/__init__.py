@@ -1,0 +1,22 @@
+"""The perf layer: hot-path instrumentation, scratch-array pooling,
+fast-path flags, and prepared-batch caches.
+
+Everything here is about *real* wall time (the python hot paths), not
+the simulated cluster seconds of the cost model.  The layer has three
+jobs: measure the hot paths (:data:`PERF`), make them fast without
+changing their math (:data:`FLAGS`, :class:`Workspace`,
+:class:`EvalSubgraphCache`), and prove it (the toggles let tests and
+benchmarks run old-vs-new on one build).
+"""
+
+from .evalcache import EvalSubgraphCache
+from .flags import FLAGS, PerfFlags, perf_overrides
+from .profiler import PERF, StageProfiler
+from .workspace import Workspace, get_workspace
+
+__all__ = [
+    "PERF", "StageProfiler",
+    "FLAGS", "PerfFlags", "perf_overrides",
+    "Workspace", "get_workspace",
+    "EvalSubgraphCache",
+]

@@ -1,0 +1,84 @@
+"""Lightweight wall-clock stage profiler for the batch-preparation
+hot paths.
+
+Unlike the simulated cost model (``repro.transfer.hardware``), which
+converts *counts* into hypothetical cluster seconds, this profiler
+measures the *actual* python wall time spent in the hot kernels —
+block assembly, aggregation-matrix construction, evaluation sampling —
+plus hit/miss counters for the memoization layers.  Engines snapshot the
+profiler around an epoch and attach the delta to their
+:class:`~repro.dist.engine.EpochStats`, so benchmarks can see real time
+next to simulated time.
+
+The module-level :data:`PERF` singleton is what the hot paths write to;
+its overhead is two ``perf_counter`` calls per timed region, negligible
+next to the numpy work inside.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["StageProfiler", "PERF"]
+
+
+class StageProfiler:
+    """Accumulates named counters and named wall-clock timers.
+
+    Counters and timers live in separate namespaces: ``count(name)``
+    increments ``counters[name]``; ``timed(name)`` adds elapsed seconds
+    to ``seconds[name]`` and bumps ``counters[name + "_calls"]``.
+    """
+
+    def __init__(self):
+        self.counters = {}
+        self.seconds = {}
+
+    # -- counters ------------------------------------------------------
+    def count(self, name, value=1):
+        """Add ``value`` to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def add_seconds(self, name, seconds):
+        """Add measured ``seconds`` to timer ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
+        self.count(name + "_calls")
+
+    @contextmanager
+    def timed(self, name):
+        """Time a ``with`` block into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_seconds(name, time.perf_counter() - start)
+
+    # -- reading -------------------------------------------------------
+    def snapshot(self):
+        """A flat copy of all counters and timers (timers suffixed
+        ``_seconds``)."""
+        out = dict(self.counters)
+        for name, value in self.seconds.items():
+            out[name + "_seconds"] = value
+        return out
+
+    def delta(self, before):
+        """Counters/timers accumulated since ``before = snapshot()``,
+        dropping entries that did not move."""
+        now = self.snapshot()
+        out = {}
+        for name, value in now.items():
+            moved = value - before.get(name, 0)
+            if moved:
+                out[name] = moved
+        return out
+
+    def reset(self):
+        """Zero every counter and timer."""
+        self.counters.clear()
+        self.seconds.clear()
+
+
+#: Process-wide profiler written to by the hot paths.
+PERF = StageProfiler()

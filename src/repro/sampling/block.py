@@ -18,8 +18,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SamplingError
+from ..perf import FLAGS, PERF, get_workspace
 
-__all__ = ["SampledBlock", "SampledSubgraph", "build_block"]
+__all__ = ["SampledBlock", "SampledSubgraph", "build_block",
+           "build_block_reference"]
 
 
 @dataclass
@@ -43,6 +45,22 @@ class SampledBlock:
     src_nodes: np.ndarray
     indptr: np.ndarray
     indices: np.ndarray
+
+    def __post_init__(self):
+        # Memoization slots for derived operators (see
+        # ``repro.nn.layers.block_aggregation_matrix``).  Blocks are
+        # structurally immutable after assembly, so derived operators
+        # can be built once and reused across forward/backward calls
+        # and across epochs when the block itself is cached.
+        self._agg_cache = {}
+        self._edge_list_cache = None
+
+    def clear_caches(self):
+        """Drop memoized derived operators (aggregation CSR, edge
+        lists).  Only needed if a caller mutates the block's arrays in
+        place, which nothing in the library does."""
+        self._agg_cache = {}
+        self._edge_list_cache = None
 
     @property
     def num_dst(self):
@@ -126,17 +144,36 @@ class SampledSubgraph:
                 raise SamplingError("blocks do not chain")
 
 
-def build_block(dst_nodes, edge_dst, edge_src):
-    """Assemble a :class:`SampledBlock` from sampled global edge pairs.
+def _assemble(dst_nodes, src_nodes, dst_local, src_local, dedup):
+    """Order localized edges by ``(dst_local, src_local)``, optionally
+    collapse duplicate pairs, and wrap everything in a
+    :class:`SampledBlock`."""
+    if len(dst_local):
+        # Fused sort key: one argsort over ``dst * num_src + src``
+        # replaces a two-key lexsort (two stable sorts + gathers).
+        # Safe in int64: num_dst * num_src is far below 2**63 for any
+        # block this library builds.  Tie order is irrelevant — equal
+        # keys mean equal (dst, src) values — so the gathered value
+        # arrays are identical to the lexsort path's.
+        key = dst_local * np.int64(len(src_nodes)) + src_local
+        if dedup:
+            key = np.unique(key)
+        else:
+            key.sort()
+        dst_local, src_local = np.divmod(key, np.int64(len(src_nodes)))
 
-    Parameters
-    ----------
-    dst_nodes:
-        Global ids of this layer's destinations (unique).
-    edge_dst, edge_src:
-        Parallel arrays of sampled edges in *global* ids; every
-        ``edge_dst`` value must appear in ``dst_nodes``.  Duplicate
-        ``(dst, src)`` pairs are collapsed.
+    counts = np.bincount(dst_local, minlength=len(dst_nodes))
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return SampledBlock(dst_nodes=dst_nodes, src_nodes=src_nodes,
+                        indptr=indptr, indices=src_local)
+
+
+def build_block_reference(dst_nodes, edge_dst, edge_src):
+    """Sort-based reference assembly (the original implementation).
+
+    Kept as the ground truth for the fused fast path: the equivalence
+    tests and ``benchmarks/bench_hotpath_kernels.py`` compare
+    :func:`build_block` against this function on identical inputs.
     """
     dst_nodes = np.asarray(dst_nodes, dtype=np.int64)
     edge_dst = np.asarray(edge_dst, dtype=np.int64)
@@ -172,3 +209,78 @@ def build_block(dst_nodes, edge_dst, edge_src):
     indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
     return SampledBlock(dst_nodes=dst_nodes, src_nodes=src_nodes,
                         indptr=indptr, indices=src_local)
+
+
+def build_block(dst_nodes, edge_dst, edge_src, assume_deduped=False):
+    """Assemble a :class:`SampledBlock` from sampled global edge pairs.
+
+    Parameters
+    ----------
+    dst_nodes:
+        Global ids of this layer's destinations (unique).
+    edge_dst, edge_src:
+        Parallel arrays of sampled edges in *global* ids; every
+        ``edge_dst`` value must appear in ``dst_nodes``.  Duplicate
+        ``(dst, src)`` pairs are collapsed.
+    assume_deduped:
+        Promise that ``(edge_dst, edge_src)`` pairs are already
+        distinct (true for edges straight out of
+        :func:`~repro.sampling.base.draw_neighbors`), skipping the
+        dedup pass.  Passing ``True`` for inputs with duplicate pairs
+        silently double-counts edges — only set it when the producer
+        guarantees distinctness.
+
+    The default path localizes global ids through a pooled dense
+    lookup table (one O(edges) gather pass) instead of the reference
+    path's two argsort+searchsorted rounds; both produce bit-identical
+    blocks.
+    """
+    if not FLAGS.fused_block_assembly:
+        return build_block_reference(dst_nodes, edge_dst, edge_src)
+
+    with PERF.timed("block_assembly"):
+        dst_nodes = np.asarray(dst_nodes, dtype=np.int64)
+        edge_dst = np.asarray(edge_dst, dtype=np.int64)
+        edge_src = np.asarray(edge_src, dtype=np.int64)
+        if len(edge_dst) != len(edge_src):
+            raise SamplingError("edge arrays must have equal length")
+
+        high = 1
+        if len(dst_nodes):
+            if int(dst_nodes.min()) < 0:
+                raise SamplingError("vertex ids must be non-negative")
+            high = max(high, int(dst_nodes.max()) + 1)
+        if len(edge_src):
+            if int(edge_src.min()) < 0 or int(edge_dst.min()) < 0:
+                raise SamplingError("vertex ids must be non-negative")
+            high = max(high, int(edge_src.max()) + 1,
+                       int(edge_dst.max()) + 1)
+
+        num_dst = len(dst_nodes)
+        extra = np.empty(0, dtype=np.int64)
+        with get_workspace().id_map(high) as lookup:
+            try:
+                lookup[dst_nodes] = np.arange(num_dst, dtype=np.int64)
+                dst_local = lookup[edge_dst]
+                if len(dst_local) and dst_local.min() < 0:
+                    raise SamplingError(
+                        "edge destination not found in block vertices")
+                src_local = lookup[edge_src]
+                fresh = src_local < 0
+                if fresh.any():
+                    # Sources not already destinations, sorted unique —
+                    # the same ordering ``np.setdiff1d`` yields.
+                    extra = np.unique(edge_src[fresh])
+                    lookup[extra] = np.arange(
+                        num_dst, num_dst + len(extra), dtype=np.int64)
+                    src_local = lookup[edge_src]
+            finally:
+                # Restore the pool invariant (all -1), touching only
+                # the entries this call wrote.
+                lookup[dst_nodes] = -1
+                if len(extra):
+                    lookup[extra] = -1
+
+        src_nodes = np.concatenate([dst_nodes, extra])
+        return _assemble(dst_nodes, src_nodes, dst_local, src_local,
+                         dedup=not assume_deduped)

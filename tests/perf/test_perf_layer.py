@@ -1,0 +1,126 @@
+"""The perf subsystem itself: profiler, workspace pool, flags."""
+
+import numpy as np
+import pytest
+
+from repro.perf import (FLAGS, PERF, EvalSubgraphCache, StageProfiler,
+                        Workspace, perf_overrides)
+from repro.sampling import NeighborSampler
+
+
+class TestStageProfiler:
+    def test_counters_accumulate(self):
+        profiler = StageProfiler()
+        profiler.count("hits")
+        profiler.count("hits", 2)
+        assert profiler.snapshot()["hits"] == 3
+
+    def test_timed_context(self):
+        profiler = StageProfiler()
+        with profiler.timed("stage"):
+            pass
+        snap = profiler.snapshot()
+        assert snap["stage_seconds"] >= 0.0
+        assert snap["stage_calls"] == 1
+
+    def test_timed_survives_exception(self):
+        profiler = StageProfiler()
+        with pytest.raises(ValueError):
+            with profiler.timed("stage"):
+                raise ValueError
+        assert profiler.snapshot()["stage_calls"] == 1
+
+    def test_delta_drops_unmoved(self):
+        profiler = StageProfiler()
+        profiler.count("old")
+        before = profiler.snapshot()
+        profiler.count("new")
+        assert profiler.delta(before) == {"new": 1}
+
+    def test_reset(self):
+        profiler = StageProfiler()
+        profiler.count("x")
+        profiler.add_seconds("y", 1.0)
+        profiler.reset()
+        assert profiler.snapshot() == {}
+
+    def test_global_singleton_exists(self):
+        assert isinstance(PERF, StageProfiler)
+
+
+class TestWorkspace:
+    def test_grows_geometrically_and_reuses(self):
+        workspace = Workspace()
+        with workspace.id_map(10) as lookup:
+            assert len(lookup) >= 10
+            assert np.all(lookup == -1)
+        first_capacity = workspace.id_map_capacity
+        with workspace.id_map(5) as lookup:
+            pass
+        assert workspace.id_map_capacity == first_capacity
+
+    def test_grow_on_larger_request(self):
+        workspace = Workspace()
+        with workspace.id_map(10):
+            pass
+        small = workspace.id_map_capacity
+        with workspace.id_map(10 * small) as lookup:
+            assert len(lookup) >= 10 * small
+
+    def test_reentrant_borrow_gets_fresh_array(self):
+        workspace = Workspace()
+        with workspace.id_map(8) as outer:
+            outer[3] = 7
+            with workspace.id_map(8) as inner:
+                assert inner is not outer
+                assert np.all(inner == -1)
+            outer[3] = -1
+
+    def test_caller_restores_invariant(self):
+        workspace = Workspace()
+        with workspace.id_map(16) as lookup:
+            lookup[[2, 5]] = [0, 1]
+            lookup[[2, 5]] = -1
+        with workspace.id_map(16) as lookup:
+            assert np.all(lookup == -1)
+
+
+class TestPerfOverrides:
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(AttributeError):
+            with perf_overrides(not_a_flag=True):
+                pass
+
+    def test_nested_overrides_restore(self):
+        assert FLAGS.memoize_aggregation
+        with perf_overrides(memoize_aggregation=False):
+            with perf_overrides(memoize_aggregation=True):
+                assert FLAGS.memoize_aggregation
+            assert not FLAGS.memoize_aggregation
+        assert FLAGS.memoize_aggregation
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with perf_overrides(fused_block_assembly=False):
+                raise RuntimeError
+        assert FLAGS.fused_block_assembly
+
+
+class TestEvalSubgraphCacheUnit:
+    def test_key_depends_on_inputs(self):
+        sampler_a = NeighborSampler((4, 4))
+        sampler_b = NeighborSampler((4, 4))
+        ids = np.arange(10)
+        base = EvalSubgraphCache.make_key(sampler_a, ids, 8, 1)
+        assert base == EvalSubgraphCache.make_key(sampler_a, ids, 8, 1)
+        assert base != EvalSubgraphCache.make_key(sampler_b, ids, 8, 1)
+        assert base != EvalSubgraphCache.make_key(sampler_a, ids, 4, 1)
+        assert base != EvalSubgraphCache.make_key(sampler_a, ids, 8, 2)
+        assert base != EvalSubgraphCache.make_key(sampler_a, ids + 1, 8, 1)
+
+    def test_put_get_clear(self):
+        cache = EvalSubgraphCache()
+        cache.put("key", ["batch"])
+        assert cache.get("key") == ["batch"]
+        cache.clear()
+        assert cache.get("key") is None
