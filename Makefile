@@ -1,14 +1,15 @@
 # Developer entry points. `make help` lists targets.
 
-.PHONY: help install test bench examples docs reproduce clean
+.PHONY: help install test bench serve-bench examples docs reproduce clean
 
 help:
-	@echo "install    editable install (falls back past missing wheel pkg)"
-	@echo "test       run the unit/integration/property test suite"
-	@echo "bench      run every table/figure benchmark"
-	@echo "examples   run all runnable examples"
-	@echo "docs       regenerate docs/api.md"
-	@echo "reproduce  write reproduction_report.md from all benchmarks"
+	@echo "install     editable install (falls back past missing wheel pkg)"
+	@echo "test        run the unit/integration/property test suite"
+	@echo "bench       run every table/figure benchmark (includes serving)"
+	@echo "serve-bench run the online-serving latency benchmark alone"
+	@echo "examples    run all runnable examples"
+	@echo "docs        regenerate docs/api.md"
+	@echo "reproduce   write reproduction_report.md from all benchmarks"
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,9 +20,15 @@ test:
 # The benchmarks are runnable scripts with a __main__ block (like the
 # examples); `pytest --benchmark-only` can't collect them without the
 # package importable, so run them the same way the examples target does.
+# The glob includes bench_serve_latency.py, so `make bench` covers the
+# serving benchmark; `make serve-bench` runs just that one.
 bench:
 	@for f in benchmarks/bench_*.py; do echo "== $$f"; \
 	  PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python $$f || exit 1; done
+
+serve-bench:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+	  python benchmarks/bench_serve_latency.py
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -22,13 +22,16 @@ Quickstart::
 from .core import (Trainer, TrainingConfig, TrainingResult,
                    adaptive_batch_training, compare_partitioners,
                    evaluate_model, make_partitioner, make_sampler, sweep)
-from .errors import (DatasetError, GraphError, PartitionError, ReproError,
-                     SamplingError, TrainingError, TransferError)
+from .errors import (AdmissionError, DatasetError, GraphError,
+                     PartitionError, ReproError, SamplingError,
+                     ServingError, TrainingError, TransferError)
 from .graph import CSRGraph, Dataset, dataset_names, load_dataset
 from .partition import all_partitioners, measure_workload
 from .perf import FLAGS, PERF, perf_overrides
 from .sampling import (HybridSampler, LayerWiseSampler, NeighborSampler,
                        RateSampler, SubgraphSampler)
+from .serve import (BatchPolicy, LayerwiseEmbeddings, LoadGenerator,
+                    MicroBatcher, ServeEngine, ServeReport)
 from .tasks import train_link_prediction
 from .transfer import DEFAULT_SPEC, HardwareSpec
 
@@ -45,6 +48,9 @@ __all__ = [
     "SubgraphSampler",
     "HardwareSpec", "DEFAULT_SPEC", "train_link_prediction",
     "FLAGS", "PERF", "perf_overrides",
+    "LoadGenerator", "BatchPolicy", "MicroBatcher", "ServeEngine",
+    "ServeReport", "LayerwiseEmbeddings",
     "ReproError", "GraphError", "PartitionError", "SamplingError",
     "TrainingError", "TransferError", "DatasetError",
+    "ServingError", "AdmissionError",
 ]

@@ -13,6 +13,10 @@ Commands
 ``advise``
     Inspect a dataset and recommend data-management techniques using
     the paper's lessons learned (see :mod:`repro.core.advisor`).
+``serve-bench``
+    Run the online-inference serving benchmark (latency/throughput
+    across micro-batching policies and cache ratios; see
+    :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ import sys
 
 import numpy as np
 
-from . import Trainer, TrainingConfig, load_dataset
+from . import Trainer, TrainingConfig, __version__, load_dataset
 from .core import format_table, make_partitioner, table1_rows
 from .core.advisor import advise
 from .graph import dataset_names, dataset_table
@@ -38,6 +42,8 @@ def build_parser():
         prog="repro",
         description="Reproduction of 'Comprehensive Evaluation of GNN "
                     "Training Systems' (VLDB 2024)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="print the Table 2 dataset suite")
@@ -83,6 +89,37 @@ def build_parser():
     rep.add_argument("--out", default="reproduction_report.md")
     rep.add_argument("--only", nargs="*", default=None,
                      help="substring filters on benchmark file names")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="run the online-inference serving benchmark")
+    serve.add_argument("dataset", nargs="?", default="ogb-arxiv",
+                       choices=dataset_names())
+    serve.add_argument("--scale", type=float, default=0.3)
+    serve.add_argument("--model", default="gcn",
+                       choices=["gcn", "graphsage"])
+    serve.add_argument("--train-epochs", type=int, default=2)
+    serve.add_argument("--fanout", type=int, nargs="+", default=[10, 10])
+    serve.add_argument("--rate", type=float, default=2000.0,
+                       help="mean arrival rate (requests per simulated "
+                            "second)")
+    serve.add_argument("--requests", type=int, default=400)
+    serve.add_argument("--skew", type=float, default=0.8,
+                       help="query popularity skew (0 = uniform)")
+    serve.add_argument("--policy", action="append", default=None,
+                       metavar="SIZE:WAIT_MS",
+                       help="batching policy, repeatable (default "
+                            "4:0.5 and 32:4)")
+    serve.add_argument("--cache-ratios", type=float, nargs="+",
+                       default=[0.1, 0.5])
+    serve.add_argument("--modes", nargs="+",
+                       default=["sampled", "precomputed"],
+                       choices=["sampled", "full", "precomputed"])
+    serve.add_argument("--max-queue", type=int, default=256)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--quick", action="store_true",
+                       help="small smoke-test preset")
+    serve.add_argument("--out", default="BENCH_serve.json")
     return parser
 
 
@@ -191,12 +228,63 @@ def _cmd_reproduce(args):
     return 1 if failures else 0
 
 
+def _parse_policies(specs):
+    """``["4:0.5", "32:4"]`` -> ``[(4, 0.0005), (32, 0.004)]``
+    (size, max-wait in simulated seconds)."""
+    policies = []
+    for spec in specs:
+        size, _, wait_ms = spec.partition(":")
+        policies.append((int(size), float(wait_ms or 0.0) / 1e3))
+    return policies
+
+
+def _cmd_serve_bench(args):
+    import json
+    from pathlib import Path
+
+    from .serve import run_serve_bench
+
+    policies = _parse_policies(args.policy or ["4:0.5", "32:4"])
+    report = run_serve_bench(
+        dataset=args.dataset, scale=args.scale, model=args.model,
+        train_epochs=args.train_epochs, fanout=tuple(args.fanout),
+        rate=args.rate, num_requests=args.requests, skew=args.skew,
+        seed=args.seed, policies=policies,
+        cache_ratios=tuple(args.cache_ratios),
+        modes=tuple(args.modes), max_queue=args.max_queue,
+        quick=args.quick)
+
+    rows = []
+    for result in report["results"]:
+        rows.append({
+            "mode": result["mode"],
+            "policy": result["policy"],
+            "cache": result["cache_ratio"],
+            "p50 (ms)": round(1e3 * result["latency_p50"], 3),
+            "p95 (ms)": round(1e3 * result["latency_p95"], 3),
+            "p99 (ms)": round(1e3 * result["latency_p99"], 3),
+            "req/s": round(result["throughput"], 1),
+            "hit rate": round(result["cache_hit_rate"], 3),
+            "rejected": result["rejected"],
+        })
+    print(format_table(
+        rows, title=f"Serving benchmark ({report['dataset']}, "
+                    f"{report['model']})"))
+    print(f"invariant (precomputed == full-fanout, atol=0): "
+          f"{'ok' if report['invariant_exact_match'] else 'VIOLATED'}")
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2))
+    print(f"wrote {out} ({len(report['results'])} configurations)")
+    return 0
+
+
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "systems": _cmd_systems,
                 "train": _cmd_train, "partition": _cmd_partition,
-                "advise": _cmd_advise, "reproduce": _cmd_reproduce}
+                "advise": _cmd_advise, "reproduce": _cmd_reproduce,
+                "serve-bench": _cmd_serve_bench}
     return handlers[args.command](args)
 
 

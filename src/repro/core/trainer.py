@@ -89,6 +89,9 @@ class TrainingResult:
     # seconds and counters from ``repro.perf.PERF`` — block assembly,
     # aggregation-matrix builds, eval-subgraph cache hits/misses.
     perf: dict = field(repr=False, default=None)
+    # The trained model at the best-validation checkpoint — what the
+    # serving layer (``repro.serve``) answers queries against.
+    model: object = field(repr=False, default=None)
 
     @property
     def best_val_accuracy(self):
@@ -281,4 +284,4 @@ class Trainer:
             partition_seconds=partition.seconds,
             partition_method=partition.method,
             epoch_stats=epoch_stats, config=config,
-            perf=PERF.delta(perf_before))
+            perf=PERF.delta(perf_before), model=model)

@@ -39,3 +39,14 @@ class TransferError(ReproError):
 class DatasetError(ReproError):
     """Raised when a dataset name is unknown or its construction
     parameters are inconsistent."""
+
+
+class ServingError(ReproError):
+    """Raised for invalid online-serving configurations (unknown
+    execution mode, a model the layer-wise precompute path cannot
+    handle, malformed batching policies)."""
+
+
+class AdmissionError(ServingError):
+    """Raised when the serving admission queue is full and a new request
+    must be rejected (backpressure, §repro.serve.batcher)."""

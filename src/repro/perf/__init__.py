@@ -11,11 +11,11 @@ benchmarks run old-vs-new on one build).
 
 from .evalcache import EvalSubgraphCache
 from .flags import FLAGS, PerfFlags, perf_overrides
-from .profiler import PERF, StageProfiler
+from .profiler import PERF, StageProfiler, percentile
 from .workspace import Workspace, get_workspace
 
 __all__ = [
-    "PERF", "StageProfiler",
+    "PERF", "StageProfiler", "percentile",
     "FLAGS", "PerfFlags", "perf_overrides",
     "Workspace", "get_workspace",
     "EvalSubgraphCache",

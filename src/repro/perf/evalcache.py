@@ -62,8 +62,20 @@ class EvalSubgraphCache:
         return batches
 
     def put(self, key, batches):
-        """Store the prepared ``(seeds, subgraph)`` list for ``key``."""
+        """Store the prepared ``(seeds, subgraph)`` list for ``key``.
+
+        Re-putting an existing key *replaces* the stored list (last
+        write wins) rather than silently keeping the old value or
+        raising: the key already encodes everything the sampled batches
+        depend on, so two puts under one key carry equivalent payloads
+        — replacing is harmless — while a caller that re-prepared after
+        a miss-then-race deserves its fresher object to be the one
+        served.  Replacement keeps the entry's eviction position and is
+        counted under ``eval_subgraph_replacements``.
+        """
         if key in self._entries:
+            PERF.count("eval_subgraph_replacements")
+            self._entries[key] = list(batches)
             return
         while len(self._entries) >= self.max_entries:
             oldest = next(iter(self._entries))

@@ -17,10 +17,33 @@ next to the numpy work inside.
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 
-__all__ = ["StageProfiler", "PERF"]
+__all__ = ["StageProfiler", "PERF", "percentile"]
+
+
+def percentile(values, q):
+    """The ``q``-th percentile of ``values`` with linear interpolation
+    between closest ranks (the same definition as
+    ``numpy.percentile(..., method="linear")``), implemented directly so
+    the serving metrics do not round-trip observation lists through
+    numpy for every report.
+    """
+    if not values:
+        raise ValueError("percentile of an empty observation list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return float(ordered[low] * (1.0 - fraction)
+                 + ordered[high] * fraction)
 
 
 class StageProfiler:
@@ -29,11 +52,16 @@ class StageProfiler:
     Counters and timers live in separate namespaces: ``count(name)``
     increments ``counters[name]``; ``timed(name)`` adds elapsed seconds
     to ``seconds[name]`` and bumps ``counters[name + "_calls"]``.
+    A third namespace holds *distributions*: ``observe(name, value)``
+    records an individual measurement (a request latency, a queue
+    depth) so percentiles can be read back with :meth:`percentile` or
+    :meth:`summary` — the histogram layer the serving metrics build on.
     """
 
     def __init__(self):
         self.counters = {}
         self.seconds = {}
+        self.observations = {}
 
     # -- counters ------------------------------------------------------
     def count(self, name, value=1):
@@ -53,6 +81,37 @@ class StageProfiler:
             yield
         finally:
             self.add_seconds(name, time.perf_counter() - start)
+
+    # -- distributions -------------------------------------------------
+    def observe(self, name, value):
+        """Record one measurement into distribution ``name`` and bump
+        ``counters[name + "_observed"]`` (so :meth:`delta` shows that
+        the distribution moved)."""
+        self.observations.setdefault(name, []).append(float(value))
+        self.count(name + "_observed")
+
+    def percentile(self, name, q):
+        """The ``q``-th percentile of distribution ``name`` (linear
+        interpolation); raises :class:`KeyError` for an unobserved
+        name."""
+        if name not in self.observations:
+            raise KeyError(f"no observations recorded under {name!r}")
+        return percentile(self.observations[name], q)
+
+    def summary(self, name):
+        """count/mean/p50/p95/p99/max digest of distribution ``name``,
+        or ``None`` if nothing was observed under it."""
+        values = self.observations.get(name)
+        if not values:
+            return None
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "p99": percentile(values, 99.0),
+            "max": max(values),
+        }
 
     # -- reading -------------------------------------------------------
     def snapshot(self):
@@ -75,9 +134,10 @@ class StageProfiler:
         return out
 
     def reset(self):
-        """Zero every counter and timer."""
+        """Zero every counter, timer, and distribution."""
         self.counters.clear()
         self.seconds.clear()
+        self.observations.clear()
 
 
 #: Process-wide profiler written to by the hot paths.

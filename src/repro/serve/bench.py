@@ -1,0 +1,109 @@
+"""The latency-SLO serving benchmark: one reusable sweep.
+
+Trains a small model, generates one shared seeded request trace, then
+serves it under every ``mode x batching policy x cache ratio``
+combination, reporting the throughput/latency curves an operator would
+use to pick a policy against a latency SLO.  Shared by the
+``repro serve-bench`` CLI command and
+``benchmarks/bench_serve_latency.py`` (which writes
+``BENCH_serve.json``).
+
+Every run also verifies the subsystem's core invariant: precomputed
+-mode logits must be *bit-identical* (``atol=0``) to on-demand
+full-fanout logits on a probe query set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Trainer
+from ..core.config import TrainingConfig
+from ..errors import ServingError
+from ..graph import load_dataset
+from .batcher import BatchPolicy
+from .engine import ServeEngine
+from .precompute import LayerwiseEmbeddings
+from .requests import LoadGenerator
+
+__all__ = ["run_serve_bench", "QUICK_OVERRIDES"]
+
+#: Parameter overrides for smoke runs (CI, ``--quick``).
+QUICK_OVERRIDES = dict(scale=0.15, train_epochs=1, num_requests=120,
+                       policies=((4, 0.0005), (16, 0.002)),
+                       cache_ratios=(0.1, 0.5))
+
+
+def run_serve_bench(dataset="ogb-arxiv", scale=0.3, model="gcn",
+                    train_epochs=2, fanout=(10, 10), rate=2000.0,
+                    num_requests=400, skew=0.8, seed=0,
+                    policies=((4, 0.0005), (32, 0.004)),
+                    cache_ratios=(0.1, 0.5),
+                    modes=("sampled", "precomputed"),
+                    max_queue=256, quick=False):
+    """Run the full serving sweep; returns a JSON-serializable dict.
+
+    ``policies`` are ``(max_batch_size, max_wait_seconds)`` pairs;
+    ``quick=True`` applies :data:`QUICK_OVERRIDES` for a fast smoke.
+    """
+    if quick:
+        scale = QUICK_OVERRIDES["scale"]
+        train_epochs = QUICK_OVERRIDES["train_epochs"]
+        num_requests = QUICK_OVERRIDES["num_requests"]
+        policies = QUICK_OVERRIDES["policies"]
+        cache_ratios = QUICK_OVERRIDES["cache_ratios"]
+    if len(policies) < 1 or len(cache_ratios) < 1:
+        raise ServingError("need at least one policy and cache ratio")
+
+    data = load_dataset(dataset, scale=scale)
+    result = Trainer(data, TrainingConfig(
+        model=model, epochs=train_epochs, num_workers=2,
+        batch_size=256, fanout=tuple(fanout), seed=seed)).run()
+    trained = result.model
+
+    trace = LoadGenerator(data.test_ids, rate=rate,
+                          num_requests=num_requests, seed=seed,
+                          skew=skew).generate()
+
+    # One shared offline table for every precomputed/full engine.
+    embeddings = LayerwiseEmbeddings(trained, data.graph, data.features)
+
+    # The subsystem invariant, checked on every benchmark run: serving
+    # from the table must be bit-identical to exact on-demand
+    # inference.
+    probe = data.test_ids[:min(64, len(data.test_ids))]
+    precomputed_logits = embeddings.logits(probe)
+    ondemand_logits, _stats = embeddings.ondemand_logits(probe)
+    exact = bool(np.array_equal(precomputed_logits, ondemand_logits))
+    if not exact:
+        raise ServingError(
+            "precomputed-mode logits diverged from on-demand "
+            "full-fanout logits (bit-match invariant violated)")
+
+    results = []
+    for mode in modes:
+        for size, wait in policies:
+            for ratio in cache_ratios:
+                engine = ServeEngine(
+                    data, trained, mode=mode,
+                    policy=BatchPolicy(max_batch_size=int(size),
+                                       max_wait=float(wait)),
+                    max_queue=max_queue, fanout=tuple(fanout),
+                    cache_ratio=float(ratio), seed=seed,
+                    embeddings=(embeddings if mode != "sampled"
+                                else None))
+                results.append(engine.run(trace).to_dict())
+
+    return {
+        "dataset": data.name,
+        "scale": scale,
+        "model": model,
+        "train_epochs": train_epochs,
+        "test_accuracy": result.test_accuracy,
+        "load": {"rate": rate, "num_requests": num_requests,
+                 "skew": skew, "seed": seed},
+        "fanout": list(fanout),
+        "max_queue": max_queue,
+        "invariant_exact_match": exact,
+        "results": results,
+    }

@@ -1,0 +1,306 @@
+"""The online inference engine: a single simulated serving node.
+
+Ties the layer together: an admission queue + micro-batcher
+(:mod:`repro.serve.batcher`) feeds one of three execution modes, and
+every byte/edge/FLOP a batch touches is converted to simulated seconds
+through the same :class:`~repro.transfer.hardware.HardwareSpec` cost
+model the training engines use.
+
+Execution modes
+---------------
+``sampled``
+    On-demand sampled inference: the batch's seeds go through the
+    training stack's :class:`~repro.sampling.NeighborSampler` and
+    ``build_block`` hot path, features are fetched through an optional
+    GPU feature cache, and the model runs forward.  Approximate (it
+    samples), cheap, the BGL/Serafini-style serving answer.
+``full``
+    On-demand *full-fanout* inference: the query's entire L-hop
+    neighborhood, computed exactly via
+    :class:`~repro.serve.precompute.LayerwiseEmbeddings`'s reference
+    path.  Exact but explodes with depth — the mode that motivates
+    precomputation.
+``precomputed``
+    Layer-wise precomputed embeddings: serving is an embedding-table
+    lookup (through an LRU *historical-embedding cache*) plus the MLP
+    head.  Bit-identical to ``full`` by construction.
+
+The event loop is deterministic: simulated arrivals come from a seeded
+:class:`~repro.serve.requests.LoadGenerator` trace, sampling uses one
+seeded rng, and no wall clock is ever read on the simulated-time path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AdmissionError, ServingError
+from ..perf import PERF, StageProfiler
+from ..sampling import NeighborSampler
+from ..transfer.cache import DegreeCache, LRUCache
+from ..transfer.hardware import DEFAULT_SPEC, estimate_flops
+from .batcher import BatchPolicy, MicroBatcher
+from .metrics import ServeReport
+from .precompute import LayerwiseEmbeddings
+from .requests import InferenceResponse
+
+__all__ = ["ServeEngine", "SERVE_MODES"]
+
+SERVE_MODES = ("sampled", "full", "precomputed")
+
+
+def _model_hidden_dim(model):
+    """Output width of the model's conv stack (for FLOP estimates)."""
+    conv = model.convs[-1]
+    for attr in ("weight", "weight_self"):
+        weight = getattr(conv, attr, None)
+        if weight is not None:
+            return weight.data.shape[1]
+    return 128
+
+
+class ServeEngine:
+    """Single-node online inference over a trained model.
+
+    Parameters
+    ----------
+    dataset:
+        The :class:`~repro.graph.datasets.Dataset` being served.
+    model:
+        A trained block-stack model (``GCN``/``GraphSAGE``; ``sampled``
+        mode also accepts ``GAT``).
+    mode:
+        One of :data:`SERVE_MODES`.
+    policy, max_queue:
+        Micro-batching policy and admission bound (see
+        :class:`~repro.serve.batcher.MicroBatcher`).
+    fanout:
+        Per-layer fanout for ``sampled`` mode.
+    cache_policy, cache_ratio:
+        ``sampled``/``full``: the GPU *feature* cache ("lru" or
+        "degree"); ``precomputed``: the LRU *embedding-row* cache.
+        ``cache_ratio=0`` disables caching (every row is fetched).
+    spec:
+        Hardware cost model; defaults to the paper's simulated node.
+    seed:
+        Seeds the sampling rng — the only randomness in the engine.
+    embeddings:
+        Optional prebuilt :class:`LayerwiseEmbeddings` to share across
+        engines (skips the offline pass).
+    """
+
+    def __init__(self, dataset, model, mode="sampled", policy=None,
+                 max_queue=None, fanout=(10, 10), cache_policy="lru",
+                 cache_ratio=0.0, spec=None, seed=0, embeddings=None):
+        if mode not in SERVE_MODES:
+            raise ServingError(
+                f"unknown serve mode {mode!r}; known: {SERVE_MODES}")
+        self.dataset = dataset
+        self.model = model
+        self.mode = mode
+        self.policy = policy or BatchPolicy()
+        self.max_queue = max_queue
+        self.spec = spec or DEFAULT_SPEC
+        self.seed = int(seed)
+        self.cache_ratio = float(cache_ratio)
+        self.cache_policy = cache_policy
+        self.hidden_dim = _model_hidden_dim(model)
+        self._feat_bytes = (dataset.feature_dim
+                            * dataset.features.itemsize)
+
+        self.sampler = None
+        self.embeddings = None
+        self.precompute_seconds = 0.0
+        if mode == "sampled":
+            self.sampler = NeighborSampler(fanout)
+        else:
+            self.embeddings = embeddings if embeddings is not None else \
+                LayerwiseEmbeddings(model, dataset.graph,
+                                    dataset.features)
+            # Offline pass cost, reported separately from latency: one
+            # full feature transfer plus the per-layer full-graph
+            # forward.
+            table_bytes = self.dataset.feature_bytes()
+            self.precompute_seconds = (
+                self.spec.gather_time(table_bytes)
+                + self.spec.pcie_time(table_bytes)
+                + self.spec.compute_time(self.embeddings.build_flops))
+
+        self.cache = self._build_cache()
+
+    def _build_cache(self):
+        if self.cache_ratio <= 0:
+            return None
+        if self.mode == "precomputed":
+            # Historical-embedding cache: LRU over table rows.
+            return LRUCache(self.embeddings.num_vertices,
+                            self.cache_ratio)
+        if self.cache_policy == "degree":
+            return DegreeCache(self.dataset.graph, self.cache_ratio)
+        if self.cache_policy == "lru":
+            return LRUCache(self.dataset.graph, self.cache_ratio)
+        raise ServingError(
+            f"unknown serving cache policy {self.cache_policy!r}; "
+            f"known: lru, degree")
+
+    # ------------------------------------------------------------------
+    # Per-batch execution
+    # ------------------------------------------------------------------
+    def _fetch_seconds(self, row_ids, row_bytes):
+        """Simulated time to materialize ``row_ids`` on the GPU through
+        the cache (hits are resident; misses cross host + PCIe)."""
+        if self.cache is not None:
+            _hits, misses = self.cache.lookup(row_ids)
+        else:
+            misses = row_ids
+        num_bytes = len(misses) * row_bytes
+        if num_bytes == 0:
+            return 0.0
+        return (self.spec.gather_time(num_bytes)
+                + self.spec.pcie_time(num_bytes))
+
+    def _execute(self, vertices, rng):
+        """Run one micro-batch; returns ``(predictions, bp, dt, nn)``
+        — per-request predictions plus the simulated seconds of each
+        serving stage (batch preparation / data transfer / NN)."""
+        if self.mode == "sampled":
+            subgraph = self.sampler.sample(self.dataset.graph, vertices,
+                                           rng)
+            logits = self.model.forward(
+                subgraph,
+                self.dataset.features[subgraph.input_nodes]).data
+            rows = np.searchsorted(subgraph.seeds, vertices)
+            predictions = logits.argmax(axis=-1)[rows]
+            bp = self.spec.sample_time(subgraph.total_edges)
+            dt = self._fetch_seconds(subgraph.input_nodes,
+                                     self._feat_bytes)
+            nn = self.spec.compute_time(estimate_flops(
+                subgraph, self.dataset.feature_dim, self.hidden_dim,
+                self.dataset.num_classes, backward_factor=1.0))
+            return predictions, bp, dt, nn
+
+        if self.mode == "full":
+            logits, stats = self.embeddings.ondemand_logits(vertices)
+            predictions = logits.argmax(axis=-1)
+            bp = self.spec.sample_time(stats.edges)
+            dt = self._fetch_seconds(stats.input_ids, self._feat_bytes)
+            nn = self.spec.compute_time(stats.flops)
+            return predictions, bp, dt, nn
+
+        # precomputed: table lookup through the embedding cache + head.
+        logits = self.embeddings.logits(vertices)
+        predictions = logits.argmax(axis=-1)
+        row_bytes = (self.embeddings.table.shape[1]
+                     * self.embeddings.table.itemsize)
+        dt = self._fetch_seconds(np.unique(vertices), row_bytes)
+        nn = self.spec.compute_time(
+            self.embeddings.head_flops(len(vertices)))
+        return predictions, 0.0, dt, nn
+
+    # ------------------------------------------------------------------
+    # The simulated-time serving loop
+    # ------------------------------------------------------------------
+    def run(self, requests):
+        """Serve a request trace; returns a
+        :class:`~repro.serve.metrics.ServeReport`.
+
+        ``requests`` must be sorted by arrival time (what
+        :meth:`LoadGenerator.generate` produces).  The loop is a
+        single-server queueing simulation: arrivals at time ``t`` are
+        admitted (in order) before any dispatch decision at ``t``; a
+        batch launches when the server is free and the batcher is ready
+        (full, past the oldest deadline, or draining).
+        """
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            return self._run(list(requests))
+        finally:
+            self.model.train() if was_training else self.model.eval()
+
+    def _run(self, requests):
+        if not requests:
+            raise ServingError("cannot serve an empty request trace")
+        batcher = MicroBatcher(self.policy, self.max_queue)
+        metrics = StageProfiler()
+        rng = np.random.default_rng(self.seed)
+        labels = self.dataset.labels
+
+        responses = []
+        rejected = []
+        bp_total = dt_total = nn_total = 0.0
+        correct = 0
+        clock = 0.0
+        i, n = 0, len(requests)
+        batch_id = 0
+
+        while i < n or len(batcher):
+            if not len(batcher):
+                clock = max(clock, requests[i].arrival)
+            while i < n and requests[i].arrival <= clock:
+                try:
+                    batcher.submit(requests[i])
+                    metrics.observe("queue_depth", len(batcher))
+                except AdmissionError:
+                    rejected.append(requests[i])
+                i += 1
+            if not batcher.ready(clock, draining=(i >= n)):
+                deadline = batcher.oldest_deadline()
+                clock = max(clock, min(deadline, requests[i].arrival))
+                continue
+
+            batch = batcher.take()
+            vertices = np.array([r.vertex for r in batch],
+                                dtype=np.int64)
+            predictions, bp, dt, nn = self._execute(vertices, rng)
+            clock += bp + dt + nn
+            bp_total += bp
+            dt_total += dt
+            nn_total += nn
+            metrics.observe("batch_size", len(batch))
+            for request, prediction in zip(batch, predictions):
+                responses.append(InferenceResponse(
+                    request=request, prediction=int(prediction),
+                    completion=clock, batch_id=batch_id,
+                    batch_size=len(batch)))
+                metrics.observe("latency", clock - request.arrival)
+                correct += int(prediction == labels[request.vertex])
+            batch_id += 1
+            PERF.count("serve_batches")
+
+        PERF.count("serve_requests", len(responses))
+        latency = metrics.summary("latency")
+        batch_stats = metrics.summary("batch_size")
+        depth = metrics.summary("queue_depth")
+        duration = max(r.completion for r in responses) if responses \
+            else 0.0
+        return ServeReport(
+            mode=self.mode,
+            policy=self.policy.describe(),
+            cache_ratio=self.cache_ratio,
+            num_requests=n,
+            completed=len(responses),
+            rejected=len(rejected),
+            duration_seconds=duration,
+            throughput=len(responses) / duration if duration else 0.0,
+            latency_mean=latency["mean"] if latency else 0.0,
+            latency_p50=latency["p50"] if latency else 0.0,
+            latency_p95=latency["p95"] if latency else 0.0,
+            latency_p99=latency["p99"] if latency else 0.0,
+            latency_max=latency["max"] if latency else 0.0,
+            num_batches=batch_id,
+            mean_batch_size=batch_stats["mean"] if batch_stats else 0.0,
+            batch_occupancy=(batch_stats["mean"]
+                             / self.policy.max_batch_size
+                             if batch_stats else 0.0),
+            queue_depth_mean=depth["mean"] if depth else 0.0,
+            queue_depth_max=depth["max"] if depth else 0.0,
+            cache_hit_rate=(self.cache.hit_rate
+                            if self.cache is not None else 0.0),
+            bp_seconds=bp_total,
+            dt_seconds=dt_total,
+            nn_seconds=nn_total,
+            precompute_seconds=self.precompute_seconds,
+            accuracy=correct / len(responses) if responses else 0.0,
+            responses=responses,
+        )

@@ -1,0 +1,78 @@
+"""The serving metrics surface: one report per run.
+
+Latency percentiles come from the
+:meth:`~repro.perf.StageProfiler.observe` distribution API (every
+request latency, batch size, and queue depth is an observation on a
+per-run profiler), so the serving layer's histogram math is the same
+code the rest of the perf layer uses — and unit-tested there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServeReport"]
+
+
+@dataclass
+class ServeReport:
+    """Everything one serving run measured, in simulated seconds.
+
+    ``precompute_seconds`` is the one-off offline cost of building the
+    embedding table (zero for on-demand modes); it is reported next to
+    — never folded into — per-request latency, exactly as the paper
+    reports partitioning time next to training time.
+    """
+
+    mode: str
+    policy: str
+    cache_ratio: float
+    num_requests: int
+    completed: int
+    rejected: int
+    duration_seconds: float        # first arrival to last completion
+    throughput: float              # completed requests per sim. second
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_max: float
+    num_batches: int
+    mean_batch_size: float
+    batch_occupancy: float         # mean batch size / max_batch_size
+    queue_depth_mean: float
+    queue_depth_max: float
+    cache_hit_rate: float
+    bp_seconds: float              # batch preparation (sampling)
+    dt_seconds: float              # feature/embedding transfer
+    nn_seconds: float              # NN computation
+    precompute_seconds: float
+    accuracy: float
+    responses: list = field(repr=False, default_factory=list)
+
+    @property
+    def reject_rate(self):
+        return self.rejected / self.num_requests \
+            if self.num_requests else 0.0
+
+    def breakdown(self):
+        """Serving-time shares of the three data-management steps —
+        the Figure 2 quantities, now for inference."""
+        total = self.bp_seconds + self.dt_seconds + self.nn_seconds
+        if total == 0:
+            return {"batch_preparation": 0.0, "data_transferring": 0.0,
+                    "nn_computation": 0.0}
+        return {
+            "batch_preparation": self.bp_seconds / total,
+            "data_transferring": self.dt_seconds / total,
+            "nn_computation": self.nn_seconds / total,
+        }
+
+    def to_dict(self):
+        """JSON-serializable summary (responses omitted)."""
+        out = {name: getattr(self, name)
+               for name in self.__dataclass_fields__
+               if name != "responses"}
+        out["reject_rate"] = self.reject_rate
+        out["breakdown"] = self.breakdown()
+        return out

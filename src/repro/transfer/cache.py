@@ -145,12 +145,17 @@ class LRUCache(GPUCache):
     policy = "lru"
 
     def __init__(self, graph, cache_ratio):
-        capacity = _capacity_from_ratio(graph.num_vertices, cache_ratio)
-        super().__init__([], graph.num_vertices)
+        # ``graph`` may be a CSRGraph-like object or a bare row count:
+        # the serving layer LRU-caches *embedding-table* rows, which
+        # have no graph behind them — only a row universe.
+        num_vertices = (int(graph) if isinstance(graph, (int, np.integer))
+                        else graph.num_vertices)
+        capacity = _capacity_from_ratio(num_vertices, cache_ratio)
+        super().__init__([], num_vertices)
         self.capacity = capacity
         self._clock = 0
         # Last-use timestamp per vertex; -1 = not resident.
-        self._last_used = np.full(graph.num_vertices, -1, dtype=np.int64)
+        self._last_used = np.full(num_vertices, -1, dtype=np.int64)
         self._resident = 0
 
     def lookup(self, vertices):

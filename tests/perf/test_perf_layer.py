@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.perf import (FLAGS, PERF, EvalSubgraphCache, StageProfiler,
-                        Workspace, perf_overrides)
+                        Workspace, percentile, perf_overrides)
 from repro.sampling import NeighborSampler
 
 
@@ -46,6 +46,67 @@ class TestStageProfiler:
 
     def test_global_singleton_exists(self):
         assert isinstance(PERF, StageProfiler)
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(0)
+        values = list(rng.exponential(1.0, size=137))
+        for q in (0, 10, 50, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                np.percentile(values, q), rel=1e-12)
+
+    def test_single_value(self):
+        assert percentile([4.2], 50) == 4.2
+        assert percentile([4.2], 99) == 4.2
+
+    def test_interpolates_between_ranks(self):
+        # ranks 0..3; p50 sits exactly between 2.0 and 3.0.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestObservations:
+    def test_observe_and_percentile(self):
+        profiler = StageProfiler()
+        for value in [5.0, 1.0, 3.0]:
+            profiler.observe("latency", value)
+        assert profiler.percentile("latency", 50) == 3.0
+        assert profiler.snapshot()["latency_observed"] == 3
+
+    def test_summary_shape(self):
+        profiler = StageProfiler()
+        for value in range(1, 101):
+            profiler.observe("depth", float(value))
+        summary = profiler.summary("depth")
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(
+            np.percentile(np.arange(1.0, 101.0), 50))
+        assert summary["p95"] <= summary["p99"] <= summary["max"] == 100.0
+
+    def test_summary_missing_returns_none(self):
+        assert StageProfiler().summary("nothing") is None
+
+    def test_percentile_missing_raises(self):
+        with pytest.raises(KeyError):
+            StageProfiler().percentile("nothing", 50)
+
+    def test_reset_clears_observations(self):
+        profiler = StageProfiler()
+        profiler.observe("x", 1.0)
+        profiler.reset()
+        assert profiler.summary("x") is None
 
 
 class TestWorkspace:
@@ -124,3 +185,20 @@ class TestEvalSubgraphCacheUnit:
         assert cache.get("key") == ["batch"]
         cache.clear()
         assert cache.get("key") is None
+
+    def test_re_put_replaces_value(self):
+        # Last write wins, explicitly: a re-put must not silently keep
+        # the stale entry (the pre-fix behavior).
+        cache = EvalSubgraphCache()
+        cache.put("key", ["stale"])
+        cache.put("key", ["fresh"])
+        assert cache.get("key") == ["fresh"]
+
+    def test_re_put_does_not_grow_cache(self):
+        cache = EvalSubgraphCache(max_entries=2)
+        cache.put("a", [1])
+        cache.put("a", [2])
+        cache.put("b", [3])
+        # "a" replaced in place: both keys still resident.
+        assert cache.get("a") == [2]
+        assert cache.get("b") == [3]

@@ -1,0 +1,90 @@
+"""Micro-batcher flush semantics and bounded-queue backpressure."""
+
+import pytest
+
+from repro.errors import AdmissionError, ServingError
+from repro.serve import BatchPolicy, MicroBatcher
+from repro.serve.requests import InferenceRequest
+
+
+def request(i, arrival):
+    return InferenceRequest(request_id=i, vertex=i, arrival=arrival)
+
+
+class TestBatchPolicy:
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ServingError):
+            BatchPolicy(max_wait=-1.0)
+
+    def test_describe(self):
+        assert BatchPolicy(32, 0.002).describe() == "b32/w2ms"
+
+
+class TestFlushSemantics:
+    def test_not_ready_while_waiting(self):
+        batcher = MicroBatcher(BatchPolicy(4, max_wait=1.0))
+        batcher.submit(request(0, arrival=0.0))
+        assert not batcher.ready(now=0.5)
+
+    def test_max_size_flush(self):
+        batcher = MicroBatcher(BatchPolicy(4, max_wait=100.0))
+        for i in range(4):
+            batcher.submit(request(i, arrival=0.0))
+        # Full batch flushes immediately, long before the deadline.
+        assert batcher.ready(now=0.0)
+        batch = batcher.take()
+        assert [r.request_id for r in batch] == [0, 1, 2, 3]
+        assert len(batcher) == 0
+
+    def test_max_wait_timeout_flush(self):
+        batcher = MicroBatcher(BatchPolicy(64, max_wait=0.010))
+        batcher.submit(request(0, arrival=1.0))
+        batcher.submit(request(1, arrival=1.005))
+        assert batcher.oldest_deadline() == pytest.approx(1.010)
+        assert not batcher.ready(now=1.009)
+        assert batcher.ready(now=1.010)
+        assert len(batcher.take()) == 2   # partial batch
+
+    def test_draining_flushes_partial_batch(self):
+        batcher = MicroBatcher(BatchPolicy(64, max_wait=100.0))
+        batcher.submit(request(0, arrival=0.0))
+        assert not batcher.ready(now=0.0)
+        assert batcher.ready(now=0.0, draining=True)
+
+    def test_take_caps_at_batch_size(self):
+        batcher = MicroBatcher(BatchPolicy(3, max_wait=0.0))
+        for i in range(5):
+            batcher.submit(request(i, arrival=0.0))
+        assert [r.request_id for r in batcher.take()] == [0, 1, 2]
+        assert [r.request_id for r in batcher.take()] == [3, 4]
+
+    def test_take_empty_raises(self):
+        with pytest.raises(ServingError):
+            MicroBatcher().take()
+
+
+class TestBackpressure:
+    def test_overflow_raises_admission_error(self):
+        batcher = MicroBatcher(BatchPolicy(8, 1.0), max_queue=2)
+        batcher.submit(request(0, 0.0))
+        batcher.submit(request(1, 0.0))
+        with pytest.raises(AdmissionError):
+            batcher.submit(request(2, 0.0))
+        # The rejected request did not corrupt the queue.
+        assert len(batcher) == 2
+        assert batcher.admitted == 2
+        assert batcher.rejected == 1
+
+    def test_take_frees_capacity(self):
+        batcher = MicroBatcher(BatchPolicy(2, 0.0), max_queue=2)
+        batcher.submit(request(0, 0.0))
+        batcher.submit(request(1, 0.0))
+        batcher.take()
+        batcher.submit(request(2, 0.0))   # no raise
+        assert len(batcher) == 1
+
+    def test_invalid_max_queue(self):
+        with pytest.raises(ServingError):
+            MicroBatcher(max_queue=0)

@@ -1,0 +1,66 @@
+"""The request layer: deterministic seeded open-loop load generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serve import LoadGenerator
+
+
+POPULATION = np.arange(50, 250)
+
+
+class TestLoadGenerator:
+    def test_same_seed_identical_trace(self):
+        gen = LoadGenerator(POPULATION, rate=1000.0, num_requests=300,
+                            seed=7, skew=0.9)
+        first = gen.generate()
+        second = gen.generate()
+        assert [(r.request_id, r.vertex, r.arrival) for r in first] \
+            == [(r.request_id, r.vertex, r.arrival) for r in second]
+
+    def test_different_seeds_differ(self):
+        a = LoadGenerator(POPULATION, 1000.0, 100, seed=1).generate()
+        b = LoadGenerator(POPULATION, 1000.0, 100, seed=2).generate()
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+
+    def test_arrivals_sorted_and_positive(self):
+        trace = LoadGenerator(POPULATION, 500.0, 200, seed=3).generate()
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_rate_matches_mean_gap(self):
+        trace = LoadGenerator(POPULATION, 2000.0, 5000,
+                              seed=0).generate()
+        mean_gap = trace[-1].arrival / len(trace)
+        assert mean_gap == pytest.approx(1.0 / 2000.0, rel=0.1)
+
+    def test_vertices_from_population(self):
+        trace = LoadGenerator(POPULATION, 1000.0, 400,
+                              seed=4, skew=1.2).generate()
+        assert all(50 <= r.vertex < 250 for r in trace)
+
+    def test_skew_concentrates_queries(self):
+        def top_share(skew):
+            trace = LoadGenerator(POPULATION, 1000.0, 2000, seed=5,
+                                  skew=skew).generate()
+            counts = np.bincount([r.vertex for r in trace])
+            counts = np.sort(counts)[::-1]
+            return counts[:10].sum() / counts.sum()
+
+        assert top_share(1.5) > top_share(0.0) + 0.1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServingError):
+            LoadGenerator([], 100.0, 10)
+        with pytest.raises(ServingError):
+            LoadGenerator(POPULATION, 0.0, 10)
+        with pytest.raises(ServingError):
+            LoadGenerator(POPULATION, 100.0, 0)
+        with pytest.raises(ServingError):
+            LoadGenerator(POPULATION, 100.0, 10, skew=-1.0)
+
+    def test_request_ids_dense(self):
+        trace = LoadGenerator(POPULATION, 100.0, 50, seed=6).generate()
+        assert [r.request_id for r in trace] == list(range(50))
