@@ -1,12 +1,13 @@
 # Developer entry points. `make help` lists targets.
 
-.PHONY: help install test bench serve-bench examples docs reproduce clean
+.PHONY: help install test bench serve-bench chaos examples docs reproduce clean
 
 help:
 	@echo "install     editable install (falls back past missing wheel pkg)"
 	@echo "test        run the unit/integration/property test suite"
 	@echo "bench       run every table/figure benchmark (includes serving)"
 	@echo "serve-bench run the online-serving latency benchmark alone"
+	@echo "chaos       run the fault-recovery benchmark alone"
 	@echo "examples    run all runnable examples"
 	@echo "docs        regenerate docs/api.md"
 	@echo "reproduce   write reproduction_report.md from all benchmarks"
@@ -29,6 +30,10 @@ bench:
 serve-bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 	  python benchmarks/bench_serve_latency.py
+
+chaos:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+	  python benchmarks/bench_fault_recovery.py
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -27,7 +27,7 @@ def run_with_selector(dataset, selector_name):
                           partitioner="hash", fanout=(10, 10))
     trainer = Trainer(dataset, config)
     # Re-run the training loop manually to thread the selector through.
-    engine, partition, sampler, model = trainer._build_engine()
+    engine, partition, sampler, model, _opt = trainer._build_engine()
     selector = (RandomBatchSelector() if selector_name == "random"
                 else ClusterBatchSelector(dataset.graph))
     rng = config.rng(salt=100)

@@ -22,7 +22,7 @@ def measure(dataset, selector_name):
     config = quick_config(epochs=EPOCHS, batch_size=128, num_workers=1,
                           partitioner="hash", fanout=(10, 10))
     trainer = Trainer(dataset, config)
-    engine, _partition, _sampler, _model = trainer._build_engine()
+    engine, _partition, _sampler, _model, _opt = trainer._build_engine()
     selector = (RandomBatchSelector() if selector_name == "random"
                 else ClusterBatchSelector(dataset.graph))
     rng = config.rng(salt=100)

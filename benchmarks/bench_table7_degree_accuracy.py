@@ -42,7 +42,7 @@ def build_rows():
                               num_workers=1, partitioner="hash",
                               sampler=sampler)
         trainer = Trainer(dataset, config)
-        engine, _partition, _sampler, model = trainer._build_engine()
+        engine, _partition, _sampler, model, _opt = trainer._build_engine()
         rng = config.rng(salt=100)
         for _epoch in range(EPOCHS):
             engine.run_epoch(128, rng)

@@ -23,7 +23,7 @@ def main():
     config = TrainingConfig(epochs=10, batch_size=128, fanout=(8, 8),
                             num_workers=1, partitioner="hash")
     trainer = Trainer(dataset, config)
-    engine, _partition, sampler, model = trainer._build_engine()
+    engine, _partition, sampler, model, _opt = trainer._build_engine()
     rng = config.rng(100)
     for _epoch in range(config.epochs):
         engine.run_epoch(128, rng)

@@ -22,9 +22,11 @@ Quickstart::
 from .core import (Trainer, TrainingConfig, TrainingResult,
                    adaptive_batch_training, compare_partitioners,
                    evaluate_model, make_partitioner, make_sampler, sweep)
-from .errors import (AdmissionError, DatasetError, GraphError,
-                     PartitionError, ReproError, SamplingError,
-                     ServingError, TrainingError, TransferError)
+from .errors import (AdmissionError, CheckpointError, DatasetError,
+                     FaultError, GraphError, PartitionError, ReproError,
+                     SamplingError, ServingError, TrainingError,
+                     TransferError)
+from .faults import Checkpointer, FaultInjector, FaultPlan, RetryPolicy
 from .graph import CSRGraph, Dataset, dataset_names, load_dataset
 from .partition import all_partitioners, measure_workload
 from .perf import FLAGS, PERF, perf_overrides
@@ -50,7 +52,8 @@ __all__ = [
     "FLAGS", "PERF", "perf_overrides",
     "LoadGenerator", "BatchPolicy", "MicroBatcher", "ServeEngine",
     "ServeReport", "LayerwiseEmbeddings",
+    "FaultPlan", "FaultInjector", "RetryPolicy", "Checkpointer",
     "ReproError", "GraphError", "PartitionError", "SamplingError",
     "TrainingError", "TransferError", "DatasetError",
-    "ServingError", "AdmissionError",
+    "ServingError", "AdmissionError", "FaultError", "CheckpointError",
 ]

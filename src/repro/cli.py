@@ -17,6 +17,10 @@ Commands
     Run the online-inference serving benchmark (latency/throughput
     across micro-batching policies and cache ratios; see
     :mod:`repro.serve`).
+``chaos``
+    Run the fault-recovery benchmark (injected stragglers, flaky
+    fetches, crashes; checkpoint/resume bit-match; see
+    :mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -34,6 +38,32 @@ from .partition import measure_workload, quality_report
 from .sampling import NeighborSampler
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text):
+    """``argparse`` type: an integer >= 1 (worker/epoch/request counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {value}")
+    return value
+
+
+def _unit_interval(text):
+    """``argparse`` type: a float in [0, 1] (cache ratios)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a value in [0, 1], got {value}")
+    return value
 
 
 def build_parser():
@@ -54,18 +84,33 @@ def build_parser():
     train.add_argument("--model", default="gcn",
                        choices=["gcn", "graphsage"])
     train.add_argument("--partitioner", default="metis-ve")
-    train.add_argument("--workers", type=int, default=4)
-    train.add_argument("--batch-size", type=int, default=512)
+    train.add_argument("--workers", type=_positive_int, default=4)
+    train.add_argument("--batch-size", type=_positive_int, default=512)
     train.add_argument("--fanout", type=int, nargs="+", default=[25, 10])
     train.add_argument("--transfer", default="zero-copy")
     train.add_argument("--cache", default=None,
                        choices=[None, "degree", "presample", "random"])
-    train.add_argument("--cache-ratio", type=float, default=0.0)
+    train.add_argument("--cache-ratio", type=_unit_interval, default=0.0)
     train.add_argument("--pipeline", default="bp+dt",
                        choices=["none", "bp", "bp+dt"])
-    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--epochs", type=_positive_int, default=20)
     train.add_argument("--scale", type=float, default=1.0)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault plan, e.g. "
+                            "'straggler@1+3:w0:x4,crash@2:w1' "
+                            "(see repro.faults.FaultPlan.parse)")
+    train.add_argument("--crash-policy", default="redistribute",
+                       choices=["redistribute", "drop"],
+                       help="what happens to a crashed worker's "
+                            "training vertices")
+    train.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="write epoch-boundary checkpoints to PATH")
+    train.add_argument("--checkpoint-every", type=_positive_int,
+                       default=1, metavar="N",
+                       help="checkpoint every N epochs (default 1)")
+    train.add_argument("--resume", action="store_true",
+                       help="resume from --checkpoint if it exists")
 
     part = sub.add_parser("partition",
                           help="compare partitioning methods")
@@ -98,19 +143,19 @@ def build_parser():
     serve.add_argument("--scale", type=float, default=0.3)
     serve.add_argument("--model", default="gcn",
                        choices=["gcn", "graphsage"])
-    serve.add_argument("--train-epochs", type=int, default=2)
+    serve.add_argument("--train-epochs", type=_positive_int, default=2)
     serve.add_argument("--fanout", type=int, nargs="+", default=[10, 10])
     serve.add_argument("--rate", type=float, default=2000.0,
                        help="mean arrival rate (requests per simulated "
                             "second)")
-    serve.add_argument("--requests", type=int, default=400)
+    serve.add_argument("--requests", type=_positive_int, default=400)
     serve.add_argument("--skew", type=float, default=0.8,
                        help="query popularity skew (0 = uniform)")
     serve.add_argument("--policy", action="append", default=None,
                        metavar="SIZE:WAIT_MS",
                        help="batching policy, repeatable (default "
                             "4:0.5 and 32:4)")
-    serve.add_argument("--cache-ratios", type=float, nargs="+",
+    serve.add_argument("--cache-ratios", type=_unit_interval, nargs="+",
                        default=[0.1, 0.5])
     serve.add_argument("--modes", nargs="+",
                        default=["sampled", "precomputed"],
@@ -120,6 +165,25 @@ def build_parser():
     serve.add_argument("--quick", action="store_true",
                        help="small smoke-test preset")
     serve.add_argument("--out", default="BENCH_serve.json")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-recovery benchmark (injected faults, "
+             "checkpoint/resume bit-match)")
+    chaos.add_argument("dataset", nargs="?", default="ogb-arxiv",
+                       choices=dataset_names())
+    chaos.add_argument("--scale", type=float, default=0.2)
+    chaos.add_argument("--model", default="gcn",
+                       choices=["gcn", "graphsage"])
+    chaos.add_argument("--epochs", type=_positive_int, default=6)
+    chaos.add_argument("--workers", type=_positive_int, default=4)
+    chaos.add_argument("--halt-epoch", type=_positive_int, default=2,
+                       help="epoch of the injected process halt used "
+                            "for the resume bit-match check")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--quick", action="store_true",
+                       help="small smoke-test preset")
+    chaos.add_argument("--out", default="BENCH_faults.json")
     return parser
 
 
@@ -134,14 +198,26 @@ def _cmd_systems(_args):
 
 
 def _cmd_train(args):
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH",
+              file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset, scale=args.scale)
     config = TrainingConfig(
         model=args.model, partitioner=args.partitioner,
         num_workers=args.workers, batch_size=args.batch_size,
         fanout=tuple(args.fanout), transfer=args.transfer,
         cache_policy=args.cache, cache_ratio=args.cache_ratio,
-        pipeline=args.pipeline, epochs=args.epochs, seed=args.seed)
-    result = Trainer(dataset, config).run()
+        pipeline=args.pipeline, epochs=args.epochs, seed=args.seed,
+        crash_policy=args.crash_policy)
+    checkpointer = None
+    if args.checkpoint:
+        from .faults import Checkpointer
+        checkpointer = Checkpointer(args.checkpoint,
+                                    every=args.checkpoint_every)
+    result = Trainer(dataset, config).run(
+        checkpointer=checkpointer, resume=args.resume,
+        faults=args.faults)
     print(f"dataset            : {dataset.name} "
           f"(|V|={dataset.num_vertices}, |E|={dataset.num_edges})")
     print(f"best val accuracy  : {result.best_val_accuracy:.3f}")
@@ -151,6 +227,14 @@ def _cmd_train(args):
     print(f"mean epoch (sim)   : {1e3 * result.mean_epoch_seconds:.3f} ms")
     for step, share in result.step_breakdown().items():
         print(f"  {step:18s} {100 * share:5.1f}%")
+    if args.faults:
+        last = result.epoch_stats[-1]
+        retries = sum(s.retries for s in result.epoch_stats)
+        giveups = sum(s.giveups for s in result.epoch_stats)
+        print(f"fault plan         : {args.faults}")
+        print(f"  retries={retries} giveups={giveups} "
+              f"alive_workers={last.alive_workers} "
+              f"dropped={last.dropped_vertices}")
     return 0
 
 
@@ -278,13 +362,50 @@ def _cmd_serve_bench(args):
     return 0
 
 
+def _cmd_chaos(args):
+    import json
+    from pathlib import Path
+
+    from .faults import run_fault_bench
+
+    report = run_fault_bench(
+        dataset=args.dataset, scale=args.scale, model=args.model,
+        epochs=args.epochs, workers=args.workers,
+        halt_epoch=args.halt_epoch, seed=args.seed, quick=args.quick)
+
+    rows = []
+    for row in report["scenarios"]:
+        rows.append({
+            "scenario": row["scenario"],
+            "plan": row["plan"],
+            "epoch overhead": f"{100 * row['epoch_time_overhead']:+.1f}%",
+            "retries": row["retries"],
+            "giveups": row["giveups"],
+            "alive": row["alive_workers"],
+            "dropped": row["dropped_vertices"],
+            "acc delta": round(row["accuracy_delta"], 3),
+        })
+    print(format_table(
+        rows, title=f"Fault-recovery benchmark ({report['dataset']}, "
+                    f"{report['workers']} workers)"))
+    resume_ok = report["halt_fired"] and report["resume_exact"]
+    print(f"halt@{report['halt_epoch']} fired, resumed curve "
+          f"bit-identical: {'ok' if resume_ok else 'VIOLATED'}")
+    print(f"fault timeline deterministic under fixed seed: "
+          f"{'ok' if report['plan_deterministic'] else 'VIOLATED'}")
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2))
+    print(f"wrote {out} ({len(report['scenarios'])} scenarios)")
+    return 0 if resume_ok and report["plan_deterministic"] else 1
+
+
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "systems": _cmd_systems,
                 "train": _cmd_train, "partition": _cmd_partition,
                 "advise": _cmd_advise, "reproduce": _cmd_reproduce,
-                "serve-bench": _cmd_serve_bench}
+                "serve-bench": _cmd_serve_bench, "chaos": _cmd_chaos}
     return handlers[args.command](args)
 
 

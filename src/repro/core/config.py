@@ -114,6 +114,10 @@ class TrainingConfig:
     # (fraction of |V|; 0 disables).
     replication_budget: float = 0.0
     pipeline: str = "bp+dt"
+    # What the engine does with a crashed worker's training vertices
+    # when a fault plan kills a machine: "redistribute" to survivors or
+    # "drop" for the rest of the run (see repro.faults).
+    crash_policy: str = "redistribute"
     spec: HardwareSpec = field(default=DEFAULT_SPEC)
     # The paper's batch-preparation step sizes batches "according to the
     # GPU's available memory"; when enabled, the trainer clamps the

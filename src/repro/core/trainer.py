@@ -9,6 +9,16 @@ training pipeline of Figure 1.
    preparation, data transferring, NN computation — all metered);
 4. evaluates validation accuracy each epoch (real numpy inference) and
    finally reports test accuracy at the best-validation checkpoint.
+
+Robustness (``repro.faults``): ``run`` optionally takes a
+:class:`~repro.faults.checkpoint.Checkpointer` (epoch-boundary
+checkpoints: model + optimizer + rng state + curve, atomic and
+checksummed) and a fault plan/injector replayed by the engine.  A run
+killed by an injected ``halt`` (or a real crash) and restarted with
+``resume=True`` continues from the last checkpoint and reproduces the
+uninterrupted run's loss/accuracy curve bit-identically: mini-batch
+formation consumes the restored rng exactly where the original left
+off, and evaluation rngs are reseeded per epoch anyway.
 """
 
 from __future__ import annotations
@@ -19,7 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dist.engine import SyncEngine
-from ..errors import TrainingError
+from ..errors import CheckpointError, TrainingError
 from ..nn import Adam, build_model
 from ..perf import FLAGS, PERF, EvalSubgraphCache
 from .config import TrainingConfig, make_cache
@@ -93,6 +103,12 @@ class TrainingResult:
     # serving layer (``repro.serve``) answers queries against.
     model: object = field(repr=False, default=None)
 
+    def __post_init__(self):
+        # Same normalization as EpochStats.perf: downstream `.get()`
+        # calls must never see None.
+        if self.perf is None:
+            self.perf = {}
+
     @property
     def best_val_accuracy(self):
         return self.curve.best_accuracy
@@ -157,7 +173,7 @@ class Trainer:
         if dataset.num_vertices < self.config.num_workers:
             raise TrainingError("more workers than vertices")
 
-    def _build_engine(self):
+    def _build_engine(self, injector=None, retry=None):
         config = self.config
         dataset = self.dataset
 
@@ -194,8 +210,10 @@ class Trainer:
             spec=config.spec, transfer=config.build_transfer(),
             caches=caches, pipeline_mode=config.pipeline,
             hidden_dim=config.hidden_dim,
-            num_classes=dataset.num_classes)
-        return engine, partition, sampler, model
+            num_classes=dataset.num_classes,
+            injector=injector, retry=retry,
+            crash_policy=config.crash_policy)
+        return engine, partition, sampler, model, optimizer
 
     def _memory_batch_cap(self, sampler):
         """Largest batch the simulated GPU fits (None = no cap).
@@ -221,10 +239,63 @@ class Trainer:
                 "memory; lower the fanout or feature width")
         return cap
 
-    def run(self):
-        """Train to completion and return a :class:`TrainingResult`."""
+    def _fingerprint(self):
+        """Identity of (dataset, architecture, seed) a checkpoint must
+        match to be resumable under this trainer."""
         config = self.config
-        engine, partition, sampler, model = self._build_engine()
+        model = config.model if isinstance(config.model, str) \
+            else type(config.model).__name__
+        return {
+            "dataset": self.dataset.name,
+            "num_vertices": int(self.dataset.num_vertices),
+            "model": model,
+            "hidden_dim": config.hidden_dim,
+            "num_layers": config.num_layers,
+            "num_workers": config.num_workers,
+            "seed": config.seed,
+        }
+
+    @staticmethod
+    def _build_injector(faults):
+        """Normalize ``faults`` (None / plan / spec string / injector)
+        into a :class:`~repro.faults.plan.FaultInjector` or None."""
+        if faults is None:
+            return None
+        from ..faults import FaultInjector, FaultPlan
+        if isinstance(faults, FaultInjector):
+            return faults
+        if isinstance(faults, (FaultPlan, str)):
+            return FaultInjector(faults)
+        raise TrainingError(
+            f"faults must be a FaultPlan, spec string, or "
+            f"FaultInjector, got {type(faults).__name__}")
+
+    def run(self, checkpointer=None, resume=False, faults=None,
+            retry=None):
+        """Train to completion and return a :class:`TrainingResult`.
+
+        Parameters
+        ----------
+        checkpointer:
+            Optional :class:`~repro.faults.checkpoint.Checkpointer`;
+            training state is saved after every ``checkpointer.every``-th
+            epoch (and the final one).
+        resume:
+            Continue from ``checkpointer``'s file when it exists (a
+            missing file starts from scratch; a corrupt or mismatched
+            one raises :class:`~repro.errors.CheckpointError`).
+        faults:
+            Optional fault schedule replayed by the engine: a
+            :class:`~repro.faults.plan.FaultPlan`, a spec string (see
+            :meth:`FaultPlan.parse`), or a prebuilt injector.
+        retry:
+            :class:`~repro.faults.retry.RetryPolicy` for flaky remote
+            fetches (engine default applies when faults are given).
+        """
+        config = self.config
+        injector = self._build_injector(faults)
+        engine, partition, sampler, model, optimizer = \
+            self._build_engine(injector=injector, retry=retry)
         schedule = config.build_schedule()
         batch_cap = self._memory_batch_cap(sampler)
         rng = config.rng(salt=100)
@@ -242,12 +313,39 @@ class Trainer:
         best_val = -1.0
         best_state = None
         stale = 0
-        for epoch in range(config.epochs):
+        start_epoch = 0
+
+        if resume and checkpointer is not None and checkpointer.exists():
+            state = checkpointer.load()
+            if state.get("fingerprint") != self._fingerprint():
+                raise CheckpointError(
+                    f"checkpoint at {checkpointer.path} belongs to a "
+                    f"different configuration "
+                    f"({state.get('fingerprint')}); refusing to resume")
+            model.load_state_dict(state["model"])
+            model.load_rng_state(state["model_rng"])
+            optimizer.load_state_dict(state["optimizer"])
+            rng.bit_generator.state = state["rng_state"]
+            schedule = state["schedule"]
+            curve = state["curve"]
+            epoch_stats = state["epoch_stats"]
+            best_val = state["best_val"]
+            best_state = state["best_state"]
+            stale = state["stale"]
+            start_epoch = state["epoch"]
+            if injector is not None:
+                # The halt that killed the previous incarnation already
+                # happened; it must not re-fire on the replayed epochs
+                # (which may start before the halt epoch when the
+                # checkpoint cadence is sparse).
+                injector.disarm_for_resume(start_epoch)
+
+        for epoch in range(start_epoch, config.epochs):
             batch_size = schedule.size(epoch)
             if batch_cap is not None:
                 batch_size = min(batch_size, batch_cap)
             wall_start = time.perf_counter()
-            stats = engine.run_epoch(batch_size, rng)
+            stats = engine.run_epoch(batch_size, rng, epoch=epoch)
             wall = time.perf_counter() - wall_start
             epoch_stats.append(stats)
 
@@ -267,11 +365,31 @@ class Trainer:
                 best_val = val_acc
                 best_state = model.state_dict()
                 stale = 0
+                stopping = False
             else:
                 stale += 1
-                if (config.early_stop_patience
-                        and stale >= config.early_stop_patience):
-                    break
+                stopping = (config.early_stop_patience
+                            and stale >= config.early_stop_patience)
+
+            if checkpointer is not None and (
+                    checkpointer.due(epoch) or stopping
+                    or epoch == config.epochs - 1):
+                checkpointer.save({
+                    "fingerprint": self._fingerprint(),
+                    "epoch": epoch + 1,
+                    "model": model.state_dict(),
+                    "model_rng": model.rng_state(),
+                    "optimizer": optimizer.state_dict(),
+                    "rng_state": rng.bit_generator.state,
+                    "schedule": schedule,
+                    "curve": curve,
+                    "epoch_stats": epoch_stats,
+                    "best_val": best_val,
+                    "best_state": best_state,
+                    "stale": stale,
+                })
+            if stopping:
+                break
 
         if best_state is not None:
             model.load_state_dict(best_state)

@@ -18,6 +18,22 @@ Remote work accounting per batch:
 * input features not owned/replicated locally -> network bytes,
 * features not in the worker's GPU cache -> PCIe bytes (via the
   configured transfer method).
+
+Fault tolerance (``repro.faults``): the engine optionally takes a
+:class:`~repro.faults.plan.FaultInjector` and a
+:class:`~repro.faults.retry.RetryPolicy`.  Stragglers multiply a
+worker's stage times, degraded links scale the network bandwidth for the
+epoch, and flaky remote fetches pay retry timeouts/backoff in simulated
+time (counted on :class:`EpochStats`; the training math is unaffected —
+a fetch that exhausts its budget is served by a fail-slow fallback, so
+faulty and healthy runs share one loss curve).  A permanent worker crash
+removes the machine: its training vertices are either redistributed to
+survivors (``crash_policy="redistribute"``) or dropped
+(``crash_policy="drop"``), and the all-reduce ring shrinks to the
+survivors.  The crashed machine's graph/feature shard stays reachable —
+storage outlives the compute — so survivors fetch adopted vertices'
+data remotely, which is exactly the extra cost the fault benchmark
+measures.
 """
 
 from __future__ import annotations
@@ -26,7 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import TrainingError
+from ..errors import FaultError, TrainingError
 from ..nn import softmax_cross_entropy
 from ..perf import PERF
 from ..partition.workload import BYTES_PER_EDGE
@@ -54,9 +70,25 @@ class EpochStats:
     involved_edges: int            # total aggregation edges
     remote_feature_bytes: int
     batch_size: int
+    # Fault/recovery accounting (zero on healthy runs): remote-fetch
+    # re-requests issued, fetches whose retry budget was exhausted
+    # (served by the fail-slow fallback), simulated seconds added by
+    # retries/timeouts, surviving worker count, and training vertices
+    # currently dropped because of crashes under crash_policy="drop".
+    retries: int = 0
+    giveups: int = 0
+    fault_seconds: float = 0.0
+    alive_workers: int = 0
+    dropped_vertices: int = 0
     # Measured (not simulated) hot-path wall seconds and counters
     # accumulated during this epoch (``repro.perf.PERF`` delta).
     perf: dict = field(repr=False, default=None)
+
+    def __post_init__(self):
+        # Normalize so downstream ``stats.perf.get(...)`` never sees
+        # None (callers may construct EpochStats without a perf delta).
+        if self.perf is None:
+            self.perf = {}
 
     def breakdown(self):
         """Step shares of the (sequential) work — Figure 2's quantities."""
@@ -97,11 +129,30 @@ class SyncEngine:
         "none", "bp", or "bp+dt" (§7.3.2).
     hidden_dim, num_classes:
         Model dimensions for the FLOPs estimate.
+    injector:
+        Optional :class:`~repro.faults.plan.FaultInjector` replaying a
+        seeded fault schedule against the epoch clock.
+    retry:
+        :class:`~repro.faults.retry.RetryPolicy` for flaky remote
+        fetches (defaults to ``RetryPolicy()`` when an injector is
+        given).
+    crash_policy:
+        What to do with a crashed worker's training vertices:
+        ``"redistribute"`` (split among survivors, deterministic
+        worker-id order) or ``"drop"`` (excluded from every later
+        epoch).
     """
+
+    CRASH_POLICIES = ("redistribute", "drop")
 
     def __init__(self, dataset, partition, sampler, model, optimizer,
                  spec, transfer, caches=None, pipeline_mode="bp+dt",
-                 hidden_dim=128, num_classes=None):
+                 hidden_dim=128, num_classes=None, injector=None,
+                 retry=None, crash_policy="redistribute"):
+        if crash_policy not in self.CRASH_POLICIES:
+            raise TrainingError(
+                f"unknown crash_policy {crash_policy!r}; "
+                f"known: {self.CRASH_POLICIES}")
         self.dataset = dataset
         self.partition = partition
         self.sampler = sampler
@@ -127,6 +178,103 @@ class SyncEngine:
         ]
         self._grad_bytes = sum(p.data.size for p in model.parameters()) * 4
 
+        self.injector = injector
+        self.crash_policy = crash_policy
+        if retry is None and injector is not None:
+            from ..faults.retry import RetryPolicy
+            retry = RetryPolicy()
+        self.retry = retry
+        self._epoch_counter = 0
+        self._dropped = 0
+        # Per-epoch fault state, refreshed by run_epoch().
+        self._epoch_spec = spec
+        self._stage_multipliers = {}
+        self._fetch_keys = {}
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    @property
+    def alive_workers(self):
+        """The workers that have not crashed."""
+        return [w for w in self.workers if w.alive]
+
+    def _apply_crashes(self, epoch):
+        """Kill workers whose scheduled crash epoch has arrived and
+        redistribute or drop their training vertices.
+
+        Crashes are processed in ``(epoch, worker)`` order so that a
+        resumed run — which applies several past crashes in one call —
+        reproduces the exact redistribution sequence of the original.
+        """
+        events = sorted((e for e in self.injector.plan
+                         if e.kind == "crash" and e.epoch <= epoch),
+                        key=lambda e: (e.epoch, e.worker))
+        for event in events:
+            if event.worker >= len(self.workers):
+                raise FaultError(
+                    f"crash fault targets worker {event.worker} but the "
+                    f"cluster has {len(self.workers)} workers")
+            worker = self.workers[event.worker]
+            if not worker.alive:
+                continue
+            surrendered = worker.crash()
+            survivors = self.alive_workers
+            if not survivors:
+                raise FaultError(
+                    f"every worker has crashed by epoch {epoch}; "
+                    f"nothing left to train on")
+            if self.crash_policy == "redistribute":
+                for survivor, share in zip(
+                        survivors,
+                        np.array_split(surrendered, len(survivors))):
+                    if len(share):
+                        survivor.adopt(share)
+            else:
+                self._dropped += len(surrendered)
+
+    def _begin_epoch_faults(self, epoch):
+        """Refresh the epoch's fault state (spec, multipliers, rng
+        streams); raises :class:`FaultError` on a scheduled halt."""
+        self._stage_multipliers = {}
+        self._fetch_keys = {}
+        self._epoch_spec = self.spec
+        if self.injector is None:
+            return
+        self.injector.begin_epoch(epoch)
+        self._apply_crashes(epoch)
+        bandwidth = self.injector.bandwidth_multiplier()
+        if bandwidth != 1.0:
+            self._epoch_spec = self.spec.with_overrides(
+                network_bandwidth=self.spec.network_bandwidth * bandwidth)
+        for worker in self.alive_workers:
+            multiplier = self.injector.stage_multiplier(worker.worker_id)
+            if multiplier != 1.0:
+                self._stage_multipliers[worker.worker_id] = multiplier
+
+    def _retry_overhead(self, part, rpc_messages):
+        """Simulated seconds added by flaky-fetch retries for
+        ``rpc_messages`` remote requests of worker ``part`` this epoch;
+        returns ``(extra_seconds, retries, giveups)``."""
+        if (self.injector is None or self.retry is None
+                or rpc_messages == 0):
+            return 0.0, 0, 0
+        if self.injector.fetch_failure_prob(part) <= 0.0:
+            return 0.0, 0, 0
+        extra = 0.0
+        retries = giveups = 0
+        outcomes = iter(
+            lambda: self.injector.fetch_attempt_fails(part), object())
+        for _message in range(rpc_messages):
+            key = self._fetch_keys.get(part, 0)
+            self._fetch_keys[part] = key + 1
+            seconds, attempts, gave_up = self.retry.simulate(
+                outcomes, key=part * 1_000_003 + key)
+            extra += seconds
+            retries += attempts
+            giveups += int(gave_up)
+        return extra, retries, giveups
+
     # ------------------------------------------------------------------
     # Accounting helpers
     # ------------------------------------------------------------------
@@ -142,6 +290,7 @@ class SyncEngine:
         # elsewhere; the sampled sub-adjacency comes back over the wire.
         remote_edges = 0
         remote_requests = 0
+        rpc_messages = 0
         for block in subgraph.blocks:
             local = self.partition.is_local(part, block.dst_nodes)
             remote_dst = block.dst_nodes[~local]
@@ -152,6 +301,7 @@ class SyncEngine:
                 for owner in np.unique(assignment[remote_dst]):
                     self.comm.record(owner, part,
                                      returned * BYTES_PER_EDGE, messages=1)
+                    rpc_messages += 1
 
         # Remote feature fetches (network), deduplicated per batch.
         inputs = subgraph.input_nodes
@@ -162,20 +312,34 @@ class SyncEngine:
                 count = int((assignment[remote_inputs] == owner).sum())
                 self.comm.record(owner, part, count * feat_bytes,
                                  messages=1)
+                rpc_messages += 1
 
+        spec = self._epoch_spec
         network_bytes = remote_feat_bytes + remote_edges * BYTES_PER_EDGE
         network_msgs = remote_requests // 64 + (2 if remote_feat_bytes else 0)
-        bp = (self.spec.sample_time(subgraph.total_edges)
-              + self.spec.network_time(network_bytes,
-                                       messages=network_msgs))
+        bp = (spec.sample_time(subgraph.total_edges)
+              + spec.network_time(network_bytes,
+                                  messages=network_msgs))
 
         stats = BatchStats.from_subgraph(subgraph, self.dataset)
-        dt = self.transfer.transfer(stats, self.spec,
+        dt = self.transfer.transfer(stats, spec,
                                     cache=worker.cache).total_seconds
 
         flops = estimate_flops(subgraph, self.dataset.feature_dim,
                                self.hidden_dim, self.num_classes)
-        nn = self.spec.compute_time(flops)
+        nn = spec.compute_time(flops)
+
+        # Injected faults: flaky remote fetches pay retry timeouts and
+        # backoff (batch-preparation time), stragglers stretch every
+        # stage of this worker's batch.
+        fault_seconds, retries, giveups = self._retry_overhead(
+            part, rpc_messages)
+        bp += fault_seconds
+        multiplier = self._stage_multipliers.get(part, 1.0)
+        if multiplier != 1.0:
+            bp *= multiplier
+            dt *= multiplier
+            nn *= multiplier
 
         return BatchWork(
             seeds=len(subgraph.seeds),
@@ -183,26 +347,40 @@ class SyncEngine:
             input_vertices=len(inputs),
             remote_feature_bytes=remote_feat_bytes,
             remote_sample_requests=remote_requests,
-            bp_seconds=bp, dt_seconds=dt, nn_seconds=nn)
+            bp_seconds=bp, dt_seconds=dt, nn_seconds=nn,
+            retries=retries, giveups=giveups,
+            fault_seconds=fault_seconds)
 
     def _allreduce_seconds(self):
-        """Ring all-reduce of the gradient vector across workers."""
-        k = self.partition.num_parts
-        if k == 1:
+        """Ring all-reduce of the gradient vector across the *surviving*
+        workers (the ring shrinks when a worker crashes)."""
+        k = len(self.alive_workers)
+        if k <= 1:
             return 0.0
         volume = 2.0 * (k - 1) / k * self._grad_bytes
-        return self.spec.network_time(volume, messages=2 * (k - 1))
+        return self._epoch_spec.network_time(volume,
+                                             messages=2 * (k - 1))
 
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def run_epoch(self, batch_size, rng, selector=None):
+    def run_epoch(self, batch_size, rng, selector=None, epoch=None):
         """One synchronous epoch; returns :class:`EpochStats`.
 
         ``selector`` optionally overrides each worker's batch formation
         (e.g. cluster-based selection); it is applied per worker to the
         worker's own training vertices.
+
+        ``epoch`` is the global epoch index on the fault clock; when
+        omitted, an internal counter is used.  A resumed trainer passes
+        the absolute epoch so the fault schedule replays at the right
+        positions.
         """
+        if epoch is None:
+            epoch = self._epoch_counter
+        self._epoch_counter = epoch + 1
+        self._begin_epoch_faults(epoch)
+
         graph = self.dataset.graph
         labels = self.dataset.labels
         features = self.dataset.features
@@ -250,8 +428,9 @@ class SyncEngine:
         # Simulated epoch time: slowest worker's pipelined makespan plus
         # the synchronous all-reduce per step.
         makespans = []
-        bp = dt = nn = 0.0
+        bp = dt = nn = fault_seconds = 0.0
         vertices = edges = remote_bytes = 0
+        retries = giveups = 0
         for worker, count in zip(self.workers, batches_this_epoch):
             if count == 0:
                 continue
@@ -265,6 +444,9 @@ class SyncEngine:
             vertices += sum(w.input_vertices for w in recent)
             edges += sum(w.sampled_edges for w in recent)
             remote_bytes += sum(w.remote_feature_bytes for w in recent)
+            retries += sum(w.retries for w in recent)
+            giveups += sum(w.giveups for w in recent)
+            fault_seconds += sum(w.fault_seconds for w in recent)
         allreduce = self._allreduce_seconds() * num_steps
         epoch_seconds = max(makespans) + allreduce
 
@@ -278,4 +460,8 @@ class SyncEngine:
             involved_edges=edges,
             remote_feature_bytes=remote_bytes,
             batch_size=batch_size,
+            retries=retries, giveups=giveups,
+            fault_seconds=fault_seconds,
+            alive_workers=len(self.alive_workers),
+            dropped_vertices=self._dropped,
             perf=PERF.delta(perf_before))

@@ -29,6 +29,12 @@ class BatchWork:
     bp_seconds: float
     dt_seconds: float
     nn_seconds: float
+    # Fault accounting (zero on healthy runs): remote-fetch re-requests,
+    # exhausted retry budgets, and the simulated seconds they added
+    # (already folded into bp_seconds).
+    retries: int = 0
+    giveups: int = 0
+    fault_seconds: float = 0.0
 
     @property
     def stage_times(self):
@@ -43,10 +49,31 @@ class Worker:
     train_ids: np.ndarray
     cache: object = None           # GPUCache or None
     batches_done: int = 0
+    # False once a permanent crash fault killed this machine; a dead
+    # worker owns no training vertices and drops out of the all-reduce
+    # ring (see SyncEngine's crash handling).
+    alive: bool = True
     work_log: list = field(default_factory=list, repr=False)
 
     def __post_init__(self):
         self.train_ids = np.asarray(self.train_ids, dtype=np.int64)
+
+    def crash(self):
+        """Mark this worker permanently dead and surrender its training
+        vertices (returned for redistribution or dropping)."""
+        surrendered = self.train_ids
+        self.alive = False
+        self.train_ids = np.empty(0, dtype=np.int64)
+        return surrendered
+
+    def adopt(self, vertex_ids):
+        """Take over training vertices surrendered by a crashed peer."""
+        if not self.alive:
+            raise TrainingError(
+                f"worker {self.worker_id} is dead and cannot adopt "
+                f"vertices")
+        self.train_ids = np.concatenate(
+            [self.train_ids, np.asarray(vertex_ids, dtype=np.int64)])
 
     @property
     def num_train(self):

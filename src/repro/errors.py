@@ -2,6 +2,14 @@
 
 All errors raised on purpose by the library derive from :class:`ReproError`
 so callers can catch library failures with a single except clause.
+
+The robustness layer adds two members: :class:`FaultError` for failures
+*injected* by the fault-simulation subsystem (``repro.faults``) — a
+scheduled process halt, a crashed worker that cannot be worked around,
+an exhausted retry budget configured to be fatal — and
+:class:`CheckpointError` for checkpoint files that are missing when
+required, corrupt (checksum mismatch), or were written by an
+incompatible configuration.
 """
 
 
@@ -50,3 +58,15 @@ class ServingError(ReproError):
 class AdmissionError(ServingError):
     """Raised when the serving admission queue is full and a new request
     must be rejected (backpressure, §repro.serve.batcher)."""
+
+
+class FaultError(ReproError):
+    """Raised by the fault-injection subsystem (``repro.faults``) when a
+    scheduled fault takes effect and cannot be absorbed: an injected
+    process halt, every worker crashed, or an invalid fault plan."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a training checkpoint is missing where one is
+    required, fails its integrity check (truncated file, checksum
+    mismatch), or belongs to a different training configuration."""

@@ -1,0 +1,142 @@
+"""Atomic, checksummed training checkpoints.
+
+A checkpoint captures everything :class:`~repro.core.trainer.Trainer`
+needs to continue a run as if it had never stopped: model parameters,
+optimizer state, the training rng's bit-generator state, the curve and
+per-epoch stats so far, and the early-stopping bookkeeping.  Restoring
+it reproduces the uninterrupted run's loss/accuracy curve bit-identically
+(pinned in ``tests/faults/test_checkpoint.py``), because mini-batch
+formation consumes the restored rng exactly where the original left off
+at the epoch boundary.
+
+The file format is crash-safe and self-verifying:
+
+* writes go to a temp file in the same directory, flushed and fsynced,
+  then atomically renamed over the target (a crash mid-write leaves the
+  previous checkpoint intact);
+* the payload (stdlib pickle of numpy state) is prefixed by a magic
+  string and a JSON header carrying its SHA-256, verified on load —
+  truncation or bit-rot raises :class:`~repro.errors.CheckpointError`
+  instead of resuming from garbage.
+
+Checkpoints are pickle files: load them only from paths you wrote
+(the usual pickle trust model; these are private training artifacts,
+not an interchange format).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from ..errors import CheckpointError
+
+__all__ = ["Checkpointer"]
+
+_MAGIC = b"REPRO-CKPT-v1\n"
+
+
+class Checkpointer:
+    """Writes/reads one checkpoint file with atomic replace semantics.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location.  The parent directory is created on
+        first save.
+    every:
+        Save cadence in epochs: the trainer saves after epoch ``e`` when
+        ``(e + 1) % every == 0`` (and always after the final epoch).
+    """
+
+    def __init__(self, path, every=1):
+        self.path = Path(path)
+        if int(every) < 1:
+            raise CheckpointError(f"every must be >= 1, got {every}")
+        self.every = int(every)
+        self.saves = 0
+
+    def exists(self):
+        """Whether a checkpoint file is present."""
+        return self.path.is_file()
+
+    def due(self, epoch):
+        """Whether the trainer should save after completing ``epoch``."""
+        return (epoch + 1) % self.every == 0
+
+    def save(self, state):
+        """Atomically persist ``state`` (a picklable dict)."""
+        payload = pickle.dumps(state, protocol=4)
+        header = json.dumps({
+            "version": 1,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+        }).encode("ascii") + b"\n"
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name + ".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(header)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.saves += 1
+
+    def load(self):
+        """Read, verify, and unpickle the checkpoint.
+
+        Raises :class:`CheckpointError` when the file is missing,
+        truncated, not a checkpoint, or fails its checksum.
+        """
+        if not self.exists():
+            raise CheckpointError(f"no checkpoint at {self.path}")
+        raw = self.path.read_bytes()
+        if not raw.startswith(_MAGIC):
+            raise CheckpointError(
+                f"{self.path} is not a repro checkpoint (bad magic)")
+        body = raw[len(_MAGIC):]
+        newline = body.find(b"\n")
+        if newline < 0:
+            raise CheckpointError(f"{self.path} is truncated (no header)")
+        try:
+            header = json.loads(body[:newline].decode("ascii"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise CheckpointError(
+                f"{self.path} has a corrupt header") from None
+        payload = body[newline + 1:]
+        if len(payload) != header.get("payload_bytes"):
+            raise CheckpointError(
+                f"{self.path} is truncated: expected "
+                f"{header.get('payload_bytes')} payload bytes, "
+                f"found {len(payload)}")
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header.get("sha256"):
+            raise CheckpointError(
+                f"{self.path} failed its integrity check "
+                f"(sha256 mismatch)")
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:
+            raise CheckpointError(
+                f"{self.path} could not be unpickled: {exc}") from exc
+
+    def delete(self):
+        """Remove the checkpoint file if present."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,122 @@
+"""Retry policy for remote fetches: bounded attempts, exponential
+backoff, deterministic jitter.
+
+A transient remote-fetch failure (see ``flaky`` events in
+:mod:`repro.faults.plan`) costs simulated time, not correctness: the
+engine re-requests until the fetch succeeds or the attempt budget is
+exhausted, paying the per-attempt timeout plus an exponentially growing
+backoff delay.  After the final attempt fails the fetch is served by the
+*fail-slow fallback* — a full-timeout re-request answered by a replica —
+so training data is never lost; the run just gets slower and the giveup
+is counted.  This keeps the loss curve bit-identical between healthy and
+flaky runs (only simulated seconds and counters differ), which is what
+makes fault overhead separable in benchmarks.
+
+Jitter is deterministic: a hash of ``(attempt, key)`` spreads delays in
+``[0, jitter)`` of the base value without consuming any rng stream, so
+retry schedules are bit-reproducible across runs and across
+checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FaultError
+
+__all__ = ["RetryPolicy"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _unit_hash(a, b):
+    """Deterministic uniform-ish value in [0, 1) from two integers
+    (splitmix64-style mixing; stable across platforms and runs)."""
+    x = (a * 0x9E3779B97F4A7C15 + b * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the remote-fetch retry loop.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per fetch (first try included).
+    base_delay:
+        Backoff before the second attempt, in simulated seconds.
+    backoff:
+        Multiplier applied to the delay after each failed attempt.
+    jitter:
+        Fractional deterministic jitter: each delay is scaled by
+        ``1 + jitter * u`` with ``u`` in [0, 1) hashed from the attempt
+        number and the caller's key.
+    timeout:
+        Simulated seconds burned by every failed attempt before the
+        failure is detected (also the cost of the fail-slow fallback
+        fetch after the final attempt).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 2e-3
+    backoff: float = 2.0
+    jitter: float = 0.1
+    timeout: float = 10e-3
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise FaultError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.timeout < 0:
+            raise FaultError("base_delay and timeout must be >= 0")
+        if self.backoff < 1.0:
+            raise FaultError(f"backoff must be >= 1, got {self.backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise FaultError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt, key=0):
+        """Backoff delay after failed attempt number ``attempt``
+        (0-based), in simulated seconds."""
+        base = self.base_delay * self.backoff ** attempt
+        return base * (1.0 + self.jitter * _unit_hash(attempt + 1, key))
+
+    def schedule(self, key=0):
+        """The full backoff schedule: delays between consecutive
+        attempts (``max_attempts - 1`` entries)."""
+        return [self.delay(attempt, key)
+                for attempt in range(self.max_attempts - 1)]
+
+    def simulate(self, outcomes, key=0):
+        """Walk one fetch's retry loop given an iterator of attempt
+        outcomes (``True`` = that attempt fails).
+
+        Returns ``(extra_seconds, retries, gave_up)``: the simulated
+        time added on top of a healthy fetch, the number of re-requests
+        issued, and whether the attempt budget was exhausted (the fetch
+        then succeeded through the fail-slow fallback at one extra
+        ``timeout``).
+        """
+        extra = 0.0
+        retries = 0
+        for attempt in range(self.max_attempts):
+            if not next(outcomes):
+                return extra, retries, False
+            extra += self.timeout
+            if attempt < self.max_attempts - 1:
+                extra += self.delay(attempt, key)
+                retries += 1
+        # Budget exhausted: fail-slow fallback (replica re-request).
+        extra += self.timeout
+        return extra, retries, True
+
+    def describe(self):
+        """Short human-readable parameter summary."""
+        return (f"retry(attempts={self.max_attempts}, "
+                f"base={1e3 * self.base_delay:g}ms, x{self.backoff:g}, "
+                f"timeout={1e3 * self.timeout:g}ms)")

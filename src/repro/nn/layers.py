@@ -85,6 +85,43 @@ class Module:
                 raise TrainingError("state_dict shape mismatch")
             param.data = saved.copy()
 
+    def _rngs(self):
+        """Every rng generator used by this module tree (e.g. shared
+        dropout rngs), deduplicated by identity, in traversal order."""
+        found = []
+        seen = set()
+
+        def visit(module):
+            rng = getattr(module, "rng", None)
+            if isinstance(rng, np.random.Generator) \
+                    and id(rng) not in seen:
+                seen.add(id(rng))
+                found.append(rng)
+            for value in module.__dict__.values():
+                if isinstance(value, Module):
+                    visit(value)
+                elif isinstance(value, (list, tuple)):
+                    for item in value:
+                        if isinstance(item, Module):
+                            visit(item)
+
+        visit(self)
+        return found
+
+    def rng_state(self):
+        """Bit-generator states of the module tree's rngs (dropout
+        masks advance these during training, so a bit-identical
+        crash-resume must checkpoint them alongside the parameters)."""
+        return [rng.bit_generator.state for rng in self._rngs()]
+
+    def load_rng_state(self, states):
+        """Restore rng states saved by :meth:`rng_state`."""
+        rngs = self._rngs()
+        if len(states) != len(rngs):
+            raise TrainingError("rng_state length mismatch")
+        for rng, state in zip(rngs, states):
+            rng.bit_generator.state = state
+
 
 class Linear(Module):
     """Affine layer ``x @ W + b``."""

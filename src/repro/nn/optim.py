@@ -29,6 +29,22 @@ class Optimizer:
         """Apply one update from the accumulated gradients."""
         raise NotImplementedError
 
+    def state_dict(self):
+        """Copy of the optimizer's mutable state (for checkpoints)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state):
+        """Restore state saved by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+    @staticmethod
+    def _check_arrays(saved, current, what):
+        if len(saved) != len(current):
+            raise TrainingError(f"optimizer {what} length mismatch")
+        for kept, fresh in zip(saved, current):
+            if kept.shape != fresh.shape:
+                raise TrainingError(f"optimizer {what} shape mismatch")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight
@@ -52,6 +68,16 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data = param.data - self.lr * grad
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self._check_arrays(state["velocity"], self._velocity, "velocity")
+        self._velocity = [v.copy() for v in state["velocity"]]
 
 
 class Adam(Optimizer):
@@ -85,3 +111,18 @@ class Adam(Optimizer):
             v_hat = v / correction2
             param.data = param.data - self.lr * m_hat / (
                 np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["step"] = self._step
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state):
+        super().load_state_dict(state)
+        self._check_arrays(state["m"], self._m, "moment")
+        self._check_arrays(state["v"], self._v, "moment")
+        self._step = int(state["step"])
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]

@@ -28,6 +28,15 @@ Execution modes
 The event loop is deterministic: simulated arrivals come from a seeded
 :class:`~repro.serve.requests.LoadGenerator` trace, sampling uses one
 seeded rng, and no wall clock is ever read on the simulated-time path.
+
+Graceful degradation (``deadline``/``fallback``): with a per-request
+deadline, requests that are already past it at dispatch are *shed*
+(load shedding — answering them late wastes capacity the live requests
+need), and in ``sampled`` mode with ``fallback=True`` a batch whose
+predicted sampled-path service time would miss the deadline is served
+from precomputed layer-wise embeddings instead (exact-but-stale beats
+sampled-but-late).  Sheds, degraded answers, and residual deadline
+misses are all reported on :class:`~repro.serve.metrics.ServeReport`.
 """
 
 from __future__ import annotations
@@ -87,14 +96,39 @@ class ServeEngine:
     embeddings:
         Optional prebuilt :class:`LayerwiseEmbeddings` to share across
         engines (skips the offline pass).
+    deadline:
+        Optional per-request deadline in simulated seconds.  At
+        dispatch, requests already past their deadline are *shed*
+        (dropped without an answer — serving a guaranteed-stale reply
+        wastes capacity the queued requests need); completed requests
+        that still finish late are counted as deadline misses.
+    fallback:
+        ``sampled`` mode only: when True, a batch whose sampled-path
+        service time is predicted to miss the deadline is served from
+        precomputed layer-wise embeddings instead (graceful
+        degradation: exact-but-stale beats sampled-but-late).  Builds a
+        :class:`LayerwiseEmbeddings` table unless ``embeddings`` is
+        supplied; the offline cost lands in ``precompute_seconds``.
     """
 
     def __init__(self, dataset, model, mode="sampled", policy=None,
                  max_queue=None, fanout=(10, 10), cache_policy="lru",
-                 cache_ratio=0.0, spec=None, seed=0, embeddings=None):
+                 cache_ratio=0.0, spec=None, seed=0, embeddings=None,
+                 deadline=None, fallback=False):
         if mode not in SERVE_MODES:
             raise ServingError(
                 f"unknown serve mode {mode!r}; known: {SERVE_MODES}")
+        if deadline is not None and deadline <= 0:
+            raise ServingError(
+                f"deadline must be positive, got {deadline}")
+        if fallback and mode != "sampled":
+            raise ServingError(
+                "fallback degradation only applies to 'sampled' mode "
+                f"(mode {mode!r} already serves from the table)")
+        if fallback and deadline is None:
+            raise ServingError(
+                "fallback degradation needs a deadline to degrade "
+                "against")
         self.dataset = dataset
         self.model = model
         self.mode = mode
@@ -108,11 +142,19 @@ class ServeEngine:
         self._feat_bytes = (dataset.feature_dim
                             * dataset.features.itemsize)
 
+        self.deadline = None if deadline is None else float(deadline)
+        self.fallback = bool(fallback)
+
         self.sampler = None
         self.embeddings = None
         self.precompute_seconds = 0.0
         if mode == "sampled":
             self.sampler = NeighborSampler(fanout)
+            if self.fallback:
+                self.embeddings = embeddings if embeddings is not None \
+                    else LayerwiseEmbeddings(model, dataset.graph,
+                                             dataset.features)
+                self.precompute_seconds = self._precompute_cost()
         else:
             self.embeddings = embeddings if embeddings is not None else \
                 LayerwiseEmbeddings(model, dataset.graph,
@@ -120,13 +162,16 @@ class ServeEngine:
             # Offline pass cost, reported separately from latency: one
             # full feature transfer plus the per-layer full-graph
             # forward.
-            table_bytes = self.dataset.feature_bytes()
-            self.precompute_seconds = (
-                self.spec.gather_time(table_bytes)
-                + self.spec.pcie_time(table_bytes)
-                + self.spec.compute_time(self.embeddings.build_flops))
+            self.precompute_seconds = self._precompute_cost()
 
         self.cache = self._build_cache()
+
+    def _precompute_cost(self):
+        """Simulated cost of the one-off offline embedding pass."""
+        table_bytes = self.dataset.feature_bytes()
+        return (self.spec.gather_time(table_bytes)
+                + self.spec.pcie_time(table_bytes)
+                + self.spec.compute_time(self.embeddings.build_flops))
 
     def _build_cache(self):
         if self.cache_ratio <= 0:
@@ -197,6 +242,21 @@ class ServeEngine:
             self.embeddings.head_flops(len(vertices)))
         return predictions, 0.0, dt, nn
 
+    def _execute_degraded(self, vertices):
+        """Degraded-mode batch: answer from the precomputed table
+        instead of sampling (no feature cache involved — the fallback
+        table rows are fetched directly)."""
+        logits = self.embeddings.logits(vertices)
+        predictions = logits.argmax(axis=-1)
+        row_bytes = (self.embeddings.table.shape[1]
+                     * self.embeddings.table.itemsize)
+        num_bytes = len(np.unique(vertices)) * row_bytes
+        dt = (self.spec.gather_time(num_bytes)
+              + self.spec.pcie_time(num_bytes)) if num_bytes else 0.0
+        nn = self.spec.compute_time(
+            self.embeddings.head_flops(len(vertices)))
+        return predictions, 0.0, dt, nn
+
     # ------------------------------------------------------------------
     # The simulated-time serving loop
     # ------------------------------------------------------------------
@@ -228,6 +288,9 @@ class ServeEngine:
 
         responses = []
         rejected = []
+        shed = []
+        degraded_count = 0
+        service_estimate = None     # EWMA of sampled-path service time
         bp_total = dt_total = nn_total = 0.0
         correct = 0
         clock = 0.0
@@ -245,14 +308,45 @@ class ServeEngine:
                     rejected.append(requests[i])
                 i += 1
             if not batcher.ready(clock, draining=(i >= n)):
-                deadline = batcher.oldest_deadline()
-                clock = max(clock, min(deadline, requests[i].arrival))
+                flush_at = batcher.oldest_deadline()
+                clock = max(clock, min(flush_at, requests[i].arrival))
                 continue
 
             batch = batcher.take()
+            if self.deadline is not None:
+                # Load shedding: a request already past its deadline at
+                # dispatch cannot be answered in time no matter how
+                # fast the batch runs — drop it and spend the capacity
+                # on requests that can still make it.
+                expired = [r for r in batch
+                           if clock > r.arrival + self.deadline]
+                if expired:
+                    shed.extend(expired)
+                    batch = [r for r in batch
+                             if clock <= r.arrival + self.deadline]
+                    if not batch:
+                        continue
+
+            # Graceful degradation: when the sampled path's predicted
+            # service time would push the batch's oldest request past
+            # its deadline, answer from the precomputed table instead.
+            degrade = (
+                self.fallback and service_estimate is not None
+                and clock + service_estimate
+                > min(r.arrival for r in batch) + self.deadline)
+
             vertices = np.array([r.vertex for r in batch],
                                 dtype=np.int64)
-            predictions, bp, dt, nn = self._execute(vertices, rng)
+            if degrade:
+                predictions, bp, dt, nn = self._execute_degraded(vertices)
+                degraded_count += len(batch)
+            else:
+                predictions, bp, dt, nn = self._execute(vertices, rng)
+                if self.mode == "sampled":
+                    service = bp + dt + nn
+                    service_estimate = service \
+                        if service_estimate is None \
+                        else 0.5 * (service_estimate + service)
             clock += bp + dt + nn
             bp_total += bp
             dt_total += dt
@@ -262,7 +356,7 @@ class ServeEngine:
                 responses.append(InferenceResponse(
                     request=request, prediction=int(prediction),
                     completion=clock, batch_id=batch_id,
-                    batch_size=len(batch)))
+                    batch_size=len(batch), degraded=degrade))
                 metrics.observe("latency", clock - request.arrival)
                 correct += int(prediction == labels[request.vertex])
             batch_id += 1
@@ -302,5 +396,12 @@ class ServeEngine:
             nn_seconds=nn_total,
             precompute_seconds=self.precompute_seconds,
             accuracy=correct / len(responses) if responses else 0.0,
+            deadline=self.deadline or 0.0,
+            shed=len(shed),
+            degraded=degraded_count,
+            deadline_misses=(sum(
+                1 for r in responses
+                if r.latency > self.deadline)
+                if self.deadline is not None else 0),
             responses=responses,
         )

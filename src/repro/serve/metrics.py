@@ -48,12 +48,32 @@ class ServeReport:
     nn_seconds: float              # NN computation
     precompute_seconds: float
     accuracy: float
+    # Deadline/degradation accounting (zero when no deadline is set):
+    # the per-request deadline in simulated seconds, requests shed
+    # because they were already past their deadline at dispatch,
+    # requests answered by the precomputed fallback instead of the
+    # sampled path, and completed requests that still finished late.
+    deadline: float = 0.0
+    shed: int = 0
+    degraded: int = 0
+    deadline_misses: int = 0
     responses: list = field(repr=False, default_factory=list)
 
     @property
     def reject_rate(self):
         return self.rejected / self.num_requests \
             if self.num_requests else 0.0
+
+    @property
+    def shed_rate(self):
+        return self.shed / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def deadline_miss_rate(self):
+        """Fraction of *completed* requests that finished past their
+        deadline (sheds and rejects are counted separately)."""
+        return self.deadline_misses / self.completed \
+            if self.completed else 0.0
 
     def breakdown(self):
         """Serving-time shares of the three data-management steps —
@@ -74,5 +94,7 @@ class ServeReport:
                for name in self.__dataclass_fields__
                if name != "responses"}
         out["reject_rate"] = self.reject_rate
+        out["shed_rate"] = self.shed_rate
+        out["deadline_miss_rate"] = self.deadline_miss_rate
         out["breakdown"] = self.breakdown()
         return out

@@ -48,7 +48,9 @@ class InferenceResponse:
 
     ``completion - request.arrival`` is the request's end-to-end
     latency: queueing delay + batching delay + service time of the
-    micro-batch it rode in.
+    micro-batch it rode in.  ``degraded`` marks answers served by the
+    precomputed-embedding fallback because the sampled path would have
+    missed the request's deadline (see ``ServeEngine``).
     """
 
     request: InferenceRequest
@@ -56,6 +58,7 @@ class InferenceResponse:
     completion: float
     batch_id: int
     batch_size: int
+    degraded: bool = False
 
     @property
     def latency(self):

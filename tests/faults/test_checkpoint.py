@@ -1,0 +1,109 @@
+"""Unit tests for the atomic, checksummed checkpointer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, ReproError
+from repro.faults import Checkpointer
+
+
+@pytest.fixture
+def ckpt(tmp_path):
+    return Checkpointer(tmp_path / "run.ckpt")
+
+
+def sample_state():
+    return {
+        "epoch": 3,
+        "weights": np.arange(12, dtype=np.float32).reshape(3, 4),
+        "rng_state": np.random.default_rng(0).bit_generator.state,
+        "nested": {"curve": [0.1, 0.2], "best": None},
+    }
+
+
+class TestRoundTrip:
+    def test_save_load_bit_identical(self, ckpt):
+        state = sample_state()
+        ckpt.save(state)
+        loaded = ckpt.load()
+        assert loaded["epoch"] == 3
+        assert np.array_equal(loaded["weights"], state["weights"])
+        assert loaded["weights"].dtype == np.float32
+        assert loaded["rng_state"] == state["rng_state"]
+        assert loaded["nested"] == state["nested"]
+
+    def test_save_overwrites_previous(self, ckpt):
+        ckpt.save({"epoch": 1})
+        ckpt.save({"epoch": 2})
+        assert ckpt.load()["epoch"] == 2
+        assert ckpt.saves == 2
+
+    def test_no_temp_files_left_behind(self, ckpt, tmp_path):
+        ckpt.save(sample_state())
+        assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        nested = Checkpointer(tmp_path / "a" / "b" / "run.ckpt")
+        nested.save({"epoch": 0})
+        assert nested.exists()
+
+    def test_exists_and_delete(self, ckpt):
+        assert not ckpt.exists()
+        ckpt.save({"epoch": 0})
+        assert ckpt.exists()
+        ckpt.delete()
+        assert not ckpt.exists()
+        ckpt.delete()  # idempotent
+
+
+class TestCadence:
+    def test_due_every_epoch_by_default(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "c", every=1)
+        assert all(ckpt.due(e) for e in range(5))
+
+    def test_due_every_n(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "c", every=3)
+        assert [ckpt.due(e) for e in range(6)] == \
+            [False, False, True, False, False, True]
+
+    def test_invalid_cadence(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpointer(tmp_path / "c", every=0)
+
+
+class TestIntegrity:
+    def test_missing_file(self, ckpt):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            ckpt.load()
+
+    def test_bad_magic(self, ckpt):
+        ckpt.path.write_bytes(b"definitely not a checkpoint")
+        with pytest.raises(CheckpointError, match="bad magic"):
+            ckpt.load()
+
+    def test_truncated_payload(self, ckpt):
+        ckpt.save(sample_state())
+        raw = ckpt.path.read_bytes()
+        ckpt.path.write_bytes(raw[:-7])
+        with pytest.raises(CheckpointError, match="truncated"):
+            ckpt.load()
+
+    def test_flipped_payload_byte(self, ckpt):
+        ckpt.save(sample_state())
+        raw = bytearray(ckpt.path.read_bytes())
+        raw[-1] ^= 0xFF
+        ckpt.path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="sha256"):
+            ckpt.load()
+
+    def test_corrupt_header(self, ckpt):
+        ckpt.save(sample_state())
+        raw = ckpt.path.read_bytes()
+        magic_len = raw.find(b"\n") + 1
+        corrupted = raw[:magic_len] + b"not json\n" + raw[magic_len:]
+        ckpt.path.write_bytes(corrupted)
+        with pytest.raises(CheckpointError):
+            ckpt.load()
+
+    def test_checkpoint_error_is_repro_error(self):
+        assert issubclass(CheckpointError, ReproError)

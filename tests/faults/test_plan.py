@@ -1,0 +1,164 @@
+"""Unit tests for fault plans and the deterministic injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError, ReproError
+from repro.faults import FAULT_KINDS, FaultEvent, FaultInjector, FaultPlan
+
+
+class TestFaultEvent:
+    def test_known_kinds(self):
+        assert set(FAULT_KINDS) == {"halt", "crash", "straggler",
+                                    "flaky", "slowlink"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(kind="meteor", epoch=0)
+
+    def test_worker_kinds_need_worker(self):
+        with pytest.raises(FaultError):
+            FaultEvent(kind="crash", epoch=1)
+
+    def test_cluster_kinds_reject_worker(self):
+        with pytest.raises(FaultError):
+            FaultEvent(kind="slowlink", epoch=1, worker=0)
+
+    def test_magnitude_validation(self):
+        with pytest.raises(FaultError):
+            FaultEvent(kind="straggler", epoch=0, worker=0, magnitude=0.5)
+        with pytest.raises(FaultError):
+            FaultEvent(kind="flaky", epoch=0, worker=0, magnitude=1.0)
+        with pytest.raises(FaultError):
+            FaultEvent(kind="slowlink", epoch=0, magnitude=0.0)
+
+    def test_window_active(self):
+        event = FaultEvent(kind="straggler", epoch=2, worker=0,
+                           duration=3, magnitude=2.0)
+        assert [event.active(e) for e in range(6)] == \
+            [False, False, True, True, True, False]
+
+    def test_instantaneous_active(self):
+        event = FaultEvent(kind="crash", epoch=2, worker=1)
+        assert event.active(2) and not event.active(3)
+
+    def test_fault_error_is_repro_error(self):
+        assert issubclass(FaultError, ReproError)
+
+
+class TestFaultPlanParse:
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "halt@4,crash@2:w1,straggler@1+3:w0:x4,"
+            "flaky@0+2:w2:p0.25,slowlink@3:x0.5", seed=7)
+        kinds = [e.kind for e in plan]
+        assert kinds == ["halt", "crash", "straggler", "flaky",
+                         "slowlink"]
+        assert plan.seed == 7
+        straggler = plan.events[2]
+        assert (straggler.epoch, straggler.duration,
+                straggler.worker, straggler.magnitude) == (1, 3, 0, 4.0)
+
+    def test_describe_round_trips(self):
+        spec = "straggler@1+3:w0:x4,crash@2:w1,slowlink@3:x0.5"
+        plan = FaultPlan.parse(spec, seed=3)
+        replay = FaultPlan.parse(plan.describe().split(" [")[0], seed=3)
+        assert replay == plan
+
+    def test_bad_tokens_rejected(self):
+        for spec in ("straggler", "crash@x:w0", "flaky@1:w0:q9",
+                     "crash@1"):
+            with pytest.raises(FaultError):
+                FaultPlan.parse(spec)
+
+    def test_plan_is_immutable(self):
+        plan = FaultPlan.parse("halt@1")
+        with pytest.raises(AttributeError):
+            plan.seed = 5
+
+
+class TestFaultInjector:
+    def test_halt_raises_once_per_epoch(self):
+        injector = FaultInjector("halt@2")
+        injector.begin_epoch(0)
+        injector.begin_epoch(1)
+        with pytest.raises(FaultError):
+            injector.begin_epoch(2)
+        assert injector.halts_fired == 1
+
+    def test_disarmed_halt_does_not_refire(self):
+        injector = FaultInjector("halt@2")
+        injector.disarm_halts_through(2)
+        injector.begin_epoch(2)  # must not raise
+
+    def test_disarm_for_resume_covers_killing_halt(self):
+        # Sparse-checkpoint resume: the run restarts at epoch 2, before
+        # the halt@3 that killed it; the replayed halt must not re-fire
+        # but the independent halt@5 must.
+        injector = FaultInjector("halt@3,halt@5")
+        injector.disarm_for_resume(2)
+        injector.begin_epoch(3)
+        with pytest.raises(FaultError):
+            injector.begin_epoch(5)
+
+    def test_crashed_workers_accumulate(self):
+        injector = FaultInjector("crash@1:w0,crash@3:w2")
+        injector.begin_epoch(0)
+        assert injector.crashed_workers() == frozenset()
+        injector.begin_epoch(1)
+        assert injector.crashed_workers() == {0}
+        injector.begin_epoch(3)
+        assert injector.crashed_workers() == {0, 2}
+
+    def test_multipliers_compose(self):
+        injector = FaultInjector(
+            "straggler@0+2:w1:x2,straggler@1:w1:x3,slowlink@0+2:x0.5,"
+            "slowlink@1:x0.5")
+        injector.begin_epoch(0)
+        assert injector.stage_multiplier(1) == 2.0
+        assert injector.stage_multiplier(0) == 1.0
+        assert injector.bandwidth_multiplier() == 0.5
+        injector.begin_epoch(1)
+        assert injector.stage_multiplier(1) == 6.0
+        assert injector.bandwidth_multiplier() == 0.25
+
+    def test_flaky_probability_composes(self):
+        injector = FaultInjector("flaky@0:w0:p0.5,flaky@0:w0:p0.5")
+        injector.begin_epoch(0)
+        assert injector.fetch_failure_prob(0) == pytest.approx(0.75)
+        assert injector.fetch_failure_prob(1) == 0.0
+
+    def test_queries_before_begin_epoch_rejected(self):
+        injector = FaultInjector("slowlink@0:x0.5")
+        with pytest.raises(FaultError):
+            injector.stage_multiplier(0)
+
+    def test_fetch_draws_deterministic_per_epoch(self):
+        def draws(seed, epoch, n=32):
+            injector = FaultInjector(
+                FaultPlan.parse("flaky@0+10:w0:p0.4", seed=seed))
+            injector.begin_epoch(epoch)
+            return [injector.fetch_attempt_fails(0) for _ in range(n)]
+
+        assert draws(0, 1) == draws(0, 1)
+        assert draws(0, 1) != draws(0, 2)
+        assert draws(0, 1) != draws(9, 1)
+        assert any(draws(0, 1)) and not all(draws(0, 1))
+
+    def test_begin_epoch_resets_streams(self):
+        injector = FaultInjector("flaky@0+10:w0:p0.4")
+        injector.begin_epoch(3)
+        first = [injector.fetch_attempt_fails(0) for _ in range(16)]
+        injector.begin_epoch(3)
+        assert [injector.fetch_attempt_fails(0)
+                for _ in range(16)] == first
+
+    def test_healthy_fetches_never_fail(self):
+        injector = FaultInjector(FaultPlan())
+        injector.begin_epoch(0)
+        assert not any(injector.fetch_attempt_fails(0)
+                       for _ in range(64))
+
+    def test_injector_rejects_non_plan(self):
+        with pytest.raises(FaultError):
+            FaultInjector(42)

@@ -1,0 +1,83 @@
+"""Unit tests for the deterministic retry/backoff policy."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(FaultError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(FaultError):
+            RetryPolicy(jitter=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RetryPolicy().timeout = 1.0
+
+
+class TestSchedule:
+    def test_deterministic_across_instances(self):
+        a = RetryPolicy().schedule(key=17)
+        b = RetryPolicy().schedule(key=17)
+        assert a == b
+
+    def test_key_changes_jitter_only(self):
+        policy = RetryPolicy(base_delay=1e-3, backoff=2.0, jitter=0.1)
+        a = policy.schedule(key=1)
+        b = policy.schedule(key=2)
+        assert a != b
+        # Jitter perturbs each delay by at most its `jitter` fraction.
+        for x, y in zip(a, b):
+            assert abs(x - y) <= 0.1 * max(x, y)
+
+    def test_exponential_growth_with_jitter_bounds(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=1e-3,
+                             backoff=2.0, jitter=0.1)
+        schedule = policy.schedule(key=0)
+        assert len(schedule) == 4
+        for attempt, delay in enumerate(schedule):
+            base = 1e-3 * 2.0 ** attempt
+            assert base <= delay < base * 1.1
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1e-3,
+                             backoff=3.0, jitter=0.0)
+        assert policy.schedule() == pytest.approx([1e-3, 3e-3, 9e-3])
+
+
+class TestSimulate:
+    def test_immediate_success_costs_nothing(self):
+        extra, retries, gave_up = RetryPolicy().simulate(iter([False]))
+        assert (extra, retries, gave_up) == (0.0, 0, False)
+
+    def test_one_failure_pays_timeout_and_backoff(self):
+        policy = RetryPolicy(base_delay=2e-3, jitter=0.0, timeout=1e-2)
+        extra, retries, gave_up = policy.simulate(
+            iter([True, False]), key=5)
+        assert extra == pytest.approx(1e-2 + 2e-3)
+        assert (retries, gave_up) == (1, False)
+
+    def test_exhausted_budget_gives_up_fail_slow(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=1e-3,
+                             backoff=2.0, jitter=0.0, timeout=1e-2)
+        extra, retries, gave_up = policy.simulate(iter([True] * 3))
+        # 3 failed timeouts + 2 backoffs + fail-slow fallback timeout.
+        assert extra == pytest.approx(3e-2 + 1e-3 + 2e-3 + 1e-2)
+        assert (retries, gave_up) == (2, True)
+
+    def test_simulate_deterministic(self):
+        policy = RetryPolicy()
+        runs = [policy.simulate(iter([True, True, False]), key=9)
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_describe_mentions_knobs(self):
+        text = RetryPolicy(max_attempts=4).describe()
+        assert "attempts=4" in text

@@ -96,7 +96,7 @@ class TestClusterDataset:
         config = TrainingConfig(epochs=5, batch_size=128, fanout=(6, 6),
                                 num_workers=1, partitioner="hash")
         trainer = Trainer(dataset, config)
-        engine, _p, sampler, model = trainer._build_engine()
+        engine, _p, sampler, model, _opt = trainer._build_engine()
         rng = config.rng(100)
         for _epoch in range(5):
             engine.run_epoch(128, rng)

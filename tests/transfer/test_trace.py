@@ -83,7 +83,7 @@ class TestTraceFromRealRun:
         config = TrainingConfig(epochs=1, batch_size=64, fanout=(4, 4),
                                 num_workers=2, partitioner="hash")
         trainer = Trainer(dataset, config)
-        engine, _p, _s, _m = trainer._build_engine()
+        engine, _p, _s, _m, _opt = trainer._build_engine()
         engine.run_epoch(64, np.random.default_rng(0))
         stage_lists = [w.epoch_stage_times(w.batches_done)
                        for w in engine.workers]
