@@ -1,10 +1,11 @@
 # Developer entry points. `make help` lists targets.
 
-.PHONY: help install test bench serve-bench chaos examples docs reproduce clean
+.PHONY: help install test lint bench serve-bench chaos examples docs reproduce clean
 
 help:
 	@echo "install     editable install (falls back past missing wheel pkg)"
 	@echo "test        run the unit/integration/property test suite"
+	@echo "lint        determinism & numerics static analysis (repro lint)"
 	@echo "bench       run every table/figure benchmark (includes serving)"
 	@echo "serve-bench run the online-serving latency benchmark alone"
 	@echo "chaos       run the fault-recovery benchmark alone"
@@ -18,6 +19,13 @@ install:
 test:
 	pytest tests/
 
+# Fails on findings not grandfathered by the checked-in baseline
+# (src/repro/analysis/baseline.json, currently empty). The CI `lint`
+# job runs the same gate and uploads the JSON report.
+lint:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+	  python -m repro lint --baseline
+
 # The benchmarks are runnable scripts with a __main__ block (like the
 # examples); `pytest --benchmark-only` can't collect them without the
 # package importable, so run them the same way the examples target does.
@@ -27,13 +35,16 @@ bench:
 	@for f in benchmarks/bench_*.py; do echo "== $$f"; \
 	  PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python $$f || exit 1; done
 
+# Both standalone benchmark runs arm the runtime sanitizers: they are
+# behaviour-preserving (checks only), and a NaN or malformed CSR inside
+# a benchmark should fail the run, not skew its numbers.
 serve-bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
-	  python benchmarks/bench_serve_latency.py
+	  python benchmarks/bench_serve_latency.py --sanitize
 
 chaos:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
-	  python benchmarks/bench_fault_recovery.py
+	  python benchmarks/bench_fault_recovery.py --sanitize
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -87,5 +87,11 @@ def test_fault_recovery(benchmark):
 
 
 if __name__ == "__main__":
+    import sys
+
+    from repro.perf import FLAGS
+
+    if "--sanitize" in sys.argv[1:]:
+        FLAGS.sanitize = True
     print(report_table(build_results()))
     print(f"wrote {RESULT_PATH}")

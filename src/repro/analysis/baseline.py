@@ -1,0 +1,82 @@
+"""Grandfathering pre-existing lint findings.
+
+The baseline is a checked-in JSON map from finding *fingerprints* to
+occurrence counts.  CI fails only on findings beyond the baselined
+count, so the lint gate can land with teeth even if the repo were not
+yet clean — and tightening it is just deleting entries.
+
+A fingerprint is ``path::rule::stripped-source-line``: stable across
+line-number shifts from edits elsewhere in the file, invalidated the
+moment the offending line itself changes (which is exactly when a human
+should re-justify it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["DEFAULT_BASELINE_PATH", "fingerprint", "load_baseline",
+           "save_baseline", "to_baseline", "filter_new"]
+
+#: The checked-in repo baseline, next to this module.
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+_VERSION = 1
+
+
+def fingerprint(finding):
+    """Line-number-independent identity of a finding."""
+    return f"{finding.path}::{finding.rule}::{finding.snippet}"
+
+
+def to_baseline(findings):
+    """Serializable baseline document covering ``findings``."""
+    counts = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return {"version": _VERSION,
+            "findings": dict(sorted(counts.items()))}
+
+
+def load_baseline(path=None):
+    """Fingerprint->count mapping from ``path`` (default: the checked-in
+    baseline).  A missing file is an empty baseline."""
+    path = Path(path) if path is not None else DEFAULT_BASELINE_PATH
+    if not path.exists():
+        return {}
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path} has version {document.get('version')!r}; "
+            f"this linter reads version {_VERSION}")
+    findings = document.get("findings", {})
+    return {str(key): int(value) for key, value in findings.items()}
+
+
+def save_baseline(findings, path=None):
+    """Write the baseline covering ``findings`` to ``path`` and return
+    the path written."""
+    path = Path(path) if path is not None else DEFAULT_BASELINE_PATH
+    document = to_baseline(findings)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+    return path
+
+
+def filter_new(findings, baseline):
+    """The findings not covered by ``baseline`` counts.
+
+    For each fingerprint the first ``baseline[fp]`` occurrences (in
+    file order) are grandfathered; any beyond that are new.
+    """
+    remaining = dict(baseline)
+    new = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new

@@ -1,0 +1,168 @@
+"""The determinism & numerics linter: file walking, noqa, baselines.
+
+Usage (library)::
+
+    from repro.analysis import lint_paths
+    result = lint_paths(["src"], baseline=load_baseline())
+    for finding in result.new_findings:
+        print(finding.location(), finding.message)
+
+Usage (CLI): ``repro lint [--format json] [--baseline]
+[--update-baseline] [paths...]`` — see :mod:`repro.cli`.
+
+Suppression: a finding on a line containing ``# repro: noqa[RPRnnn]``
+(or a blanket ``# repro: noqa``) is dropped and counted in
+``LintResult.suppressed``.  Suppressions are for *intentional*
+violations and should carry a nearby comment saying why; accidental
+pre-existing findings belong in the baseline instead, which
+grandfathers them without touching the offending lines.
+
+This module must stay import-light (stdlib only): ``repro lint`` runs
+in CI before anything heavy is warmed up, and the analysis layer must
+never be the reason CLI startup slows down.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import filter_new
+from .rules import Finding, RuleContext, all_rules
+
+__all__ = ["LintResult", "lint_file", "lint_paths", "iter_python_files"]
+
+#: ``# repro: noqa`` or ``# repro: noqa[RPR001,RPR005]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run.
+
+    ``findings`` holds every unsuppressed hit; ``new_findings`` is the
+    subset not grandfathered by the baseline (identical to ``findings``
+    when no baseline was applied).  The lint gate exits nonzero exactly
+    when ``new_findings`` is non-empty.
+    """
+
+    findings: list = field(default_factory=list)
+    new_findings: list = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    parse_errors: int = 0
+
+    @property
+    def baselined(self):
+        """Findings present but grandfathered by the baseline."""
+        return len(self.findings) - len(self.new_findings)
+
+    @property
+    def clean(self):
+        """True when the gate should pass."""
+        return not self.new_findings
+
+
+def iter_python_files(paths):
+    """Yield every ``.py`` file under ``paths`` (files pass through),
+    sorted, skipping caches and VCS internals."""
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+        for candidate in candidates:
+            if _SKIP_DIRS.intersection(candidate.parts):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def _suppressed_codes(line_text):
+    """None if the line has no noqa marker; otherwise the frozenset of
+    suppressed rule ids (empty frozenset = blanket suppression)."""
+    match = _NOQA_RE.search(line_text)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return frozenset()
+    return frozenset(code.strip() for code in codes.split(",")
+                     if code.strip())
+
+
+def lint_file(path, rules=None, display_path=None):
+    """Lint one file; returns ``(findings, suppressed_count)``.
+
+    A file that fails to parse produces a single synthetic ``RPR000``
+    error finding rather than crashing the run — a syntax error must
+    fail the gate, not the linter.
+    """
+    path = Path(path)
+    display = display_path if display_path is not None \
+        else path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(
+            rule="RPR000", severity="error", path=display,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error", snippet=(exc.text or "").strip())
+        return [finding], 0
+
+    ctx = RuleContext(path=display, tree=tree, lines=lines)
+    findings = []
+    suppressed = 0
+    for rule in (rules if rules is not None else all_rules()):
+        for finding in rule.findings(ctx):
+            codes = _suppressed_codes(ctx.line_text(finding.line))
+            if codes is not None and (not codes or finding.rule in codes):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings, suppressed
+
+
+def lint_paths(paths, rules=None, baseline=None):
+    """Lint every python file under ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to scan.
+    rules:
+        Rule instances to run (default: every registered rule).
+    baseline:
+        Baseline mapping from :func:`~repro.analysis.baseline.
+        load_baseline`; when given, ``new_findings`` excludes
+        grandfathered hits.  ``None`` disables baselining.
+    """
+    rules = list(rules) if rules is not None else all_rules()
+    result = LintResult()
+    for path in iter_python_files(paths):
+        findings, suppressed = lint_file(path, rules=rules)
+        result.files_scanned += 1
+        result.suppressed += suppressed
+        result.findings.extend(findings)
+        result.parse_errors += sum(1 for f in findings
+                                   if f.rule == "RPR000")
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if baseline is not None:
+        result.new_findings = filter_new(result.findings, baseline)
+    else:
+        result.new_findings = list(result.findings)
+    return result

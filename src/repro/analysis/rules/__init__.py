@@ -1,0 +1,147 @@
+"""Rule registry for the determinism & numerics linter.
+
+Every rule is a small AST check with a stable identifier (``RPRnnn``),
+a severity, and a fix hint.  Rules encode the invariants the
+reproduction's correctness claims rest on — seeded randomness, no
+wall-clock in simulated paths, no iteration-order-dependent numerics —
+so refactors that silently break them fail in CI instead of in a
+benchmark three PRs later.
+
+A rule yields ``(node, message)`` pairs from :meth:`Rule.check`; the
+linter turns them into :class:`Finding` records, applies inline
+``# repro: noqa[RPRnnn]`` suppressions, and diffs against the checked-in
+baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Rule", "RuleContext", "all_rules", "dotted_name",
+           "register", "rule_table"]
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter hit, pinned to a file position.
+
+    ``snippet`` is the stripped source line — it doubles as the
+    line-number-independent part of the baseline fingerprint, so
+    unrelated edits above a grandfathered finding do not resurface it.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    snippet: str
+
+    def location(self):
+        """``path:line:col`` for reports."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str
+    tree: ast.AST
+    lines: list
+    _parents: dict = field(default=None, repr=False)
+
+    def parent(self, node):
+        """The AST parent of ``node`` (None for the module node)."""
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for inner in ast.iter_child_nodes(outer):
+                    self._parents[inner] = outer
+        return self._parents.get(node)
+
+    def line_text(self, lineno):
+        """Stripped source text of physical line ``lineno`` (1-based)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_parts(self, name):
+        """True if ``name`` is a path component of this file."""
+        return name in self.path.replace("\\", "/").split("/")
+
+
+def dotted_name(node):
+    """``a.b.c`` for an Attribute/Name chain, or None for anything
+    dynamic (subscripts, calls) where the chain cannot be read
+    statically."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class: one identifier, one severity, one AST check."""
+
+    rule_id = None
+    severity = None
+    title = None
+    hint = None
+    rationale = None
+
+    def check(self, ctx):
+        """Yield ``(node, message)`` pairs for violations in ``ctx``."""
+        raise NotImplementedError
+
+    def findings(self, ctx):
+        """Run :meth:`check` and wrap the hits in :class:`Finding`s."""
+        for node, message in self.check(ctx):
+            yield Finding(
+                rule=self.rule_id, severity=self.severity, path=ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message, hint=self.hint,
+                snippet=ctx.line_text(getattr(node, "lineno", 1)))
+
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"{cls.rule_id}: bad severity {cls.severity!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules():
+    """Fresh instances of every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_table():
+    """id/severity/title/hint/rationale rows for docs and
+    ``--format json``."""
+    return [{"rule": cls.rule_id, "severity": cls.severity,
+             "title": cls.title, "hint": cls.hint,
+             "rationale": cls.rationale or ""}
+            for _, cls in sorted(_REGISTRY.items())]
+
+
+# Importing the rule modules populates the registry; they import names
+# from this (partially initialized) package, so they must come after
+# the definitions above.
+from . import determinism, hygiene, numerics  # noqa: E402,F401

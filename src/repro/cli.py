@@ -21,6 +21,10 @@ Commands
     Run the fault-recovery benchmark (injected stragglers, flaky
     fetches, crashes; checkpoint/resume bit-match; see
     :mod:`repro.faults`).
+``lint``
+    Run the determinism & numerics static-analysis pass (rule ids
+    ``RPRnnn``, baseline grandfathering, text/JSON reports; see
+    :mod:`repro.analysis`).  Exits nonzero on new findings.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ import sys
 
 import numpy as np
 
-from . import Trainer, TrainingConfig, __version__, load_dataset
+from . import FLAGS, Trainer, TrainingConfig, __version__, load_dataset
 from .core import format_table, make_partitioner, table1_rows
 from .core.advisor import advise
 from .graph import dataset_names, dataset_table
@@ -111,6 +115,10 @@ def build_parser():
                        help="checkpoint every N epochs (default 1)")
     train.add_argument("--resume", action="store_true",
                        help="resume from --checkpoint if it exists")
+    train.add_argument("--sanitize", action="store_true",
+                       help="arm the runtime sanitizers (NaN/Inf and "
+                            "CSR structure checks; behaviour-"
+                            "preserving, see repro.analysis.sanitize)")
 
     part = sub.add_parser("partition",
                           help="compare partitioning methods")
@@ -164,6 +172,9 @@ def build_parser():
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--quick", action="store_true",
                        help="small smoke-test preset")
+    serve.add_argument("--sanitize", action="store_true",
+                       help="arm the runtime sanitizers for the "
+                            "benchmark run")
     serve.add_argument("--out", default="BENCH_serve.json")
 
     chaos = sub.add_parser(
@@ -183,7 +194,31 @@ def build_parser():
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--quick", action="store_true",
                        help="small smoke-test preset")
+    chaos.add_argument("--sanitize", action="store_true",
+                       help="arm the runtime sanitizers for the "
+                            "benchmark run")
     chaos.add_argument("--out", default="BENCH_faults.json")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & numerics static-analysis pass")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to scan (default: src "
+                           "benchmarks examples tools tests)")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json"],
+                      help="stdout report format")
+    lint.add_argument("--baseline", action="store_true",
+                      help="grandfather findings recorded in the "
+                           "checked-in baseline; fail only on new ones")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to cover the current "
+                           "findings and exit 0")
+    lint.add_argument("--baseline-file", default=None, metavar="PATH",
+                      help="baseline location (default: "
+                           "src/repro/analysis/baseline.json)")
+    lint.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the JSON report to PATH")
     return parser
 
 
@@ -202,6 +237,8 @@ def _cmd_train(args):
         print("error: --resume requires --checkpoint PATH",
               file=sys.stderr)
         return 2
+    if args.sanitize:
+        FLAGS.sanitize = True
     dataset = load_dataset(args.dataset, scale=args.scale)
     config = TrainingConfig(
         model=args.model, partitioner=args.partitioner,
@@ -328,6 +365,8 @@ def _cmd_serve_bench(args):
 
     from .serve import run_serve_bench
 
+    if args.sanitize:
+        FLAGS.sanitize = True
     policies = _parse_policies(args.policy or ["4:0.5", "32:4"])
     report = run_serve_bench(
         dataset=args.dataset, scale=args.scale, model=args.model,
@@ -368,6 +407,8 @@ def _cmd_chaos(args):
 
     from .faults import run_fault_bench
 
+    if args.sanitize:
+        FLAGS.sanitize = True
     report = run_fault_bench(
         dataset=args.dataset, scale=args.scale, model=args.model,
         epochs=args.epochs, workers=args.workers,
@@ -399,13 +440,56 @@ def _cmd_chaos(args):
     return 0 if resume_ok and report["plan_deterministic"] else 1
 
 
+def _cmd_lint(args):
+    # Imported lazily: the analysis layer is light, but the lint
+    # command must never become a reason cli startup grows heavier.
+    from pathlib import Path
+
+    from .analysis import lint_paths, render_json, render_text, write_json
+    from .analysis.baseline import load_baseline, save_baseline
+
+    paths = args.paths or [p for p in ("src", "benchmarks", "examples",
+                                       "tools", "tests")
+                           if Path(p).exists()]
+    if not paths:
+        print("error: no lint paths found (run from the repo root or "
+              "pass paths)", file=sys.stderr)
+        return 2
+
+    try:
+        if args.update_baseline:
+            result = lint_paths(paths)
+            written = save_baseline(result.findings,
+                                    path=args.baseline_file)
+            print(f"wrote {written} covering {len(result.findings)} "
+                  f"findings across {result.files_scanned} files")
+            return 0
+        baseline = load_baseline(args.baseline_file) if args.baseline \
+            else None
+        result = lint_paths(paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        import json
+        print(json.dumps(render_json(result), indent=2))
+    else:
+        print(render_text(result))
+    if args.out:
+        write_json(result, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if result.clean else 1
+
+
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "systems": _cmd_systems,
                 "train": _cmd_train, "partition": _cmd_partition,
                 "advise": _cmd_advise, "reproduce": _cmd_reproduce,
-                "serve-bench": _cmd_serve_bench, "chaos": _cmd_chaos}
+                "serve-bench": _cmd_serve_bench, "chaos": _cmd_chaos,
+                "lint": _cmd_lint}
     return handlers[args.command](args)
 
 

@@ -23,7 +23,6 @@ off, and evaluation rngs are reseeded per epoch anyway.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,7 +30,7 @@ import numpy as np
 from ..dist.engine import SyncEngine
 from ..errors import CheckpointError, TrainingError
 from ..nn import Adam, build_model
-from ..perf import FLAGS, PERF, EvalSubgraphCache
+from ..perf import FLAGS, PERF, EvalSubgraphCache, wall_clock
 from .config import TrainingConfig, make_cache
 from .convergence import TrainingCurve
 
@@ -344,9 +343,9 @@ class Trainer:
             batch_size = schedule.size(epoch)
             if batch_cap is not None:
                 batch_size = min(batch_size, batch_cap)
-            wall_start = time.perf_counter()
+            wall_start = wall_clock()
             stats = engine.run_epoch(batch_size, rng, epoch=epoch)
-            wall = time.perf_counter() - wall_start
+            wall = wall_clock() - wall_start
             epoch_stats.append(stats)
 
             if epoch % config.eval_every == 0 or epoch == config.epochs - 1:

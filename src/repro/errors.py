@@ -70,3 +70,10 @@ class CheckpointError(ReproError):
     """Raised when a training checkpoint is missing where one is
     required, fails its integrity check (truncated file, checksum
     mismatch), or belongs to a different training configuration."""
+
+
+class SanitizerError(ReproError):
+    """Raised by the runtime sanitizers (``repro.analysis.sanitize``)
+    when a numeric invariant is violated with ``FLAGS.sanitize`` on:
+    NaN/Inf in activations or gradients, a structurally malformed CSR
+    array, or a broken shape/dtype contract."""

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.sanitize import check_csr
 from ..errors import GraphError
+from ..perf.flags import FLAGS
 from .csr import CSRGraph
 
 __all__ = ["from_edges", "symmetrize", "remove_self_loops", "relabel"]
@@ -63,6 +65,11 @@ def from_edges(src, dst, num_vertices, symmetrize_edges=False,
     counts = np.bincount(src, minlength=n) if len(src) else np.zeros(
         n, dtype=np.int64)
     indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    if FLAGS.sanitize:
+        # Loud structural validation at the single sanctioned CSR
+        # construction site; rows are sorted by the lexsort above.
+        check_csr(indptr, dst, n, name="from_edges",
+                  sorted_rows=bool(len(src)))
     return CSRGraph(indptr, dst, num_vertices=n,
                     is_symmetric=symmetrize_edges, validate=False)
 

@@ -16,9 +16,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.sanitize import check_contract
 from ..errors import DatasetError
 
 __all__ = ["community_features_and_labels", "random_features_and_labels"]
+
+
+@check_contract(shape=(None, None), dtype=np.float32)
+def _finalize_features(features):
+    """Cast to the library-wide feature dtype.  Every dataset's feature
+    matrix leaves through here, so the contract (2-D float32) holds for
+    all downstream transfer/cache byte accounting under
+    ``FLAGS.sanitize``."""
+    return np.ascontiguousarray(features, dtype=np.float32)
 
 
 def community_features_and_labels(communities, feature_dim, num_classes,
@@ -60,7 +70,7 @@ def community_features_and_labels(communities, feature_dim, num_classes,
         flip = rng.random(len(labels)) < label_noise
         labels = labels.copy()
         labels[flip] = rng.integers(0, num_classes, size=int(flip.sum()))
-    return features.astype(np.float32), labels.astype(np.int64)
+    return _finalize_features(features), labels.astype(np.int64)
 
 
 def random_features_and_labels(num_vertices, feature_dim, num_classes, rng):
@@ -70,4 +80,4 @@ def random_features_and_labels(num_vertices, feature_dim, num_classes, rng):
         raise DatasetError("feature_dim and num_classes must be positive")
     features = rng.normal(0.0, 1.0, size=(num_vertices, feature_dim))
     labels = rng.integers(0, num_classes, size=num_vertices)
-    return features.astype(np.float32), labels.astype(np.int64)
+    return _finalize_features(features), labels.astype(np.int64)

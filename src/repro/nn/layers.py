@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..analysis.sanitize import check_finite
 from ..errors import TrainingError
 from ..perf import FLAGS, PERF
 from .init import xavier_uniform, zeros
@@ -381,8 +382,12 @@ class _GNNBase(Module):
                 f"model has {self.num_layers} layers but subgraph has "
                 f"{len(subgraph.blocks)} blocks")
         h = features if isinstance(features, Tensor) else Tensor(features)
+        if FLAGS.sanitize:
+            check_finite(h.data, name="input features")
         for i, (conv, block) in enumerate(zip(self.convs, subgraph.blocks)):
             h = conv.forward_block(block, h)
+            if FLAGS.sanitize:
+                check_finite(h.data, name=f"layer {i} activations")
             h = h.relu()
             if i < len(self.convs) - 1:
                 h = self.dropout.forward(h)

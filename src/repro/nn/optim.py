@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.sanitize import check_finite
 from ..errors import TrainingError
+from ..perf.flags import FLAGS
 
 __all__ = ["Optimizer", "SGD", "Adam"]
 
@@ -19,6 +21,16 @@ class Optimizer:
         if not self.parameters:
             raise TrainingError("optimizer received no parameters")
         self.lr = float(lr)
+
+    def _sanitize_grads(self):
+        """NaN/Inf scan over accumulated gradients (FLAGS.sanitize
+        only); called by subclasses at the top of :meth:`step` so a
+        diverging loss fails at the update that received it."""
+        if not FLAGS.sanitize:
+            return
+        for index, param in enumerate(self.parameters):
+            if param.grad is not None:
+                check_finite(param.grad, name=f"gradient[{index}]")
 
     def zero_grad(self):
         """Clear every tracked parameter's gradient."""
@@ -57,6 +69,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self):
+        self._sanitize_grads()
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
@@ -94,6 +107,7 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self):
+        self._sanitize_grads()
         self._step += 1
         correction1 = 1.0 - self.beta1 ** self._step
         correction2 = 1.0 - self.beta2 ** self._step

@@ -11,12 +11,12 @@ because owned" from "local because cached".
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import PartitionError
+from ..perf.profiler import wall_clock
 
 __all__ = ["PartitionResult", "Partitioner", "check_num_parts"]
 
@@ -130,8 +130,8 @@ class Partitioner(abc.ABC):
         check_num_parts(graph.num_vertices, num_parts)
         if rng is None:
             rng = np.random.default_rng(0)
-        start = time.perf_counter()
+        start = wall_clock()
         result = self._partition(graph, num_parts, split, rng)
-        result.seconds = time.perf_counter() - start
+        result.seconds = wall_clock() - start
         result.method = self.name
         return result

@@ -11,11 +11,11 @@ benchmarks run old-vs-new on one build).
 
 from .evalcache import EvalSubgraphCache
 from .flags import FLAGS, PerfFlags, perf_overrides
-from .profiler import PERF, StageProfiler, percentile
+from .profiler import PERF, StageProfiler, percentile, wall_clock
 from .workspace import Workspace, get_workspace
 
 __all__ = [
-    "PERF", "StageProfiler", "percentile",
+    "PERF", "StageProfiler", "percentile", "wall_clock",
     "FLAGS", "PerfFlags", "perf_overrides",
     "Workspace", "get_workspace",
     "EvalSubgraphCache",

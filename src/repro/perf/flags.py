@@ -32,11 +32,21 @@ class PerfFlags:
     eval_subgraph_cache:
         Let the trainer sample the fixed-seed evaluation mini-batches
         once and replay them across epochs.
+    sanitize:
+        Arm the runtime sanitizers (``repro.analysis.sanitize``):
+        NaN/Inf scans on activations and gradients, CSR structure
+        checks at graph/block construction, and shape/dtype return
+        contracts.  Unlike the fast-path toggles above this one
+        defaults *off*: the checks are behaviour-preserving but not
+        free, so they run in the test suite, under ``repro train
+        --sanitize``, and in the CI chaos/serving smokes rather than
+        in benchmarked hot loops.
     """
 
     fused_block_assembly: bool = True
     memoize_aggregation: bool = True
     eval_subgraph_cache: bool = True
+    sanitize: bool = False
 
 
 #: Process-wide flag set read by the hot paths.

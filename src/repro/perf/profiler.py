@@ -21,7 +21,18 @@ import math
 import time
 from contextlib import contextmanager
 
-__all__ = ["StageProfiler", "PERF", "percentile"]
+__all__ = ["StageProfiler", "PERF", "percentile", "wall_clock"]
+
+
+def wall_clock():
+    """The sanctioned wall-clock read: ``time.perf_counter()``.
+
+    Every real-time measurement in the library flows through this
+    module (the determinism linter's RPR002 enforces it), so one grep
+    finds every place host timing can enter a result.  Simulated paths
+    must never call this — they advance the cost model's clock instead.
+    """
+    return time.perf_counter()
 
 
 def percentile(values, q):

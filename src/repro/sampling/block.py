@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.sanitize import check_csr
 from ..errors import SamplingError
 from ..perf import FLAGS, PERF, get_workspace
 
@@ -164,6 +165,12 @@ def _assemble(dst_nodes, src_nodes, dst_local, src_local, dedup):
 
     counts = np.bincount(dst_local, minlength=len(dst_nodes))
     indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    if FLAGS.sanitize:
+        # Guarded at the call site so the off path costs one attribute
+        # read in this hot loop; rows are sorted by the key sort above.
+        # Block CSRs are rectangular: destination rows, source columns.
+        check_csr(indptr, src_local, len(dst_nodes), name="build_block",
+                  sorted_rows=True, num_cols=len(src_nodes))
     return SampledBlock(dst_nodes=dst_nodes, src_nodes=src_nodes,
                         indptr=indptr, indices=src_local)
 

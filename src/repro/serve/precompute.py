@@ -44,6 +44,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.sanitize import check_finite
 from ..dist.fullbatch import full_aggregation_matrix
 from ..errors import ServingError
 from ..nn.layers import GCNConv, SAGEConv
@@ -139,7 +140,7 @@ class LayerwiseEmbeddings:
             h, edges, flops = self._apply_conv(conv, h, everyone)
             self.build_edges += edges
             self.build_flops += flops
-        self.table = h
+        self.table = check_finite(h, name="precomputed embedding table")
 
     # ------------------------------------------------------------------
     # Shared layer math

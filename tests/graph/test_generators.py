@@ -100,3 +100,31 @@ class TestDeterminism:
         g1, _ = power_law_graph(400, 10, np.random.default_rng(1))
         g2, _ = power_law_graph(400, 10, np.random.default_rng(2))
         assert g1 != g2
+
+
+class TestSanitizedConstruction:
+    """Every generator family builds through ``from_edges``, whose
+    sanitized CSR validation is armed suite-wide; assert it both ran
+    and holds for each family's output."""
+
+    @pytest.mark.parametrize("make", [
+        lambda rng: power_law_graph(600, 12, rng)[0],
+        lambda rng: flat_graph(600, 12, rng)[0],
+        lambda rng: erdos_renyi_graph(600, 12, rng),
+        lambda rng: planted_partition_graph(600, 4, 12, rng)[0],
+    ])
+    def test_generated_csr_well_formed(self, make):
+        from repro.analysis.sanitize import check_csr
+        from repro.perf import PERF
+
+        before = PERF.counters.get("sanitize_csr_checks", 0)
+        g = make(np.random.default_rng(9))
+        after = PERF.counters.get("sanitize_csr_checks", 0)
+        assert after > before  # from_edges ran its armed check
+        # Re-validate the finished graph explicitly, including both
+        # adjacency directions.
+        check_csr(g.indptr, g.indices, g.num_vertices,
+                  name="generator output", sorted_rows=True)
+        in_indptr, in_indices = g.in_csr()
+        check_csr(in_indptr, in_indices, g.num_vertices,
+                  name="generator in-CSR")
