@@ -46,14 +46,18 @@ def build_results():
 def report_table(report):
     rows = []
     for result in report["results"]:
+        tiered = result["warm_ratio"] > 0
         rows.append({
             "mode": result["mode"],
             "policy": result["policy"],
-            "cache": result["cache_ratio"],
+            "cache": round(result["cache_ratio"]
+                           + result["warm_ratio"], 3),
+            "tiers": result["cache_policy"] if tiered else "-",
             "p50 (ms)": round(1e3 * result["latency_p50"], 3),
             "p99 (ms)": round(1e3 * result["latency_p99"], 3),
             "req/s": round(result["throughput"], 1),
             "hit rate": round(result["cache_hit_rate"], 3),
+            "warm hit": round(result["warm_hit_rate"], 3),
         })
     title = (f"Serving latency ({report['dataset']}, {report['model']}, "
              f"rate={report['load']['rate']:g}/s)")
@@ -73,13 +77,19 @@ def test_serve_latency(benchmark):
     assert len({r["policy"] for r in results}) >= 2
     assert len({r["cache_ratio"] for r in results}) >= 2
     # Precomputed serving beats on-demand sampled serving on median
-    # latency for every matched (policy, cache) configuration.
+    # latency for every matched (policy, cache) configuration.  The
+    # tiered rows (warm_ratio > 0) use a different budget split and
+    # have no sampled twin — they are checked for shape instead.
     sampled = {(r["policy"], r["cache_ratio"]): r["latency_p50"]
                for r in results if r["mode"] == "sampled"}
     for r in results:
-        if r["mode"] == "precomputed":
+        if r["mode"] == "precomputed" and r["warm_ratio"] == 0:
             key = (r["policy"], r["cache_ratio"])
             assert r["latency_p50"] < sampled[key]
+    tiered = [r for r in results if r["warm_ratio"] > 0]
+    assert tiered, "sweep lost its tiered-cache rows"
+    for r in tiered:
+        assert set(r["tier_seconds"]) == {"hot", "warm", "cold"}
 
 
 if __name__ == "__main__":

@@ -95,6 +95,23 @@ def build_parser():
     train.add_argument("--cache", default=None,
                        choices=[None, "degree", "presample", "random"])
     train.add_argument("--cache-ratio", type=_unit_interval, default=0.0)
+    train.add_argument("--cache-policy", default=None,
+                       choices=["degree", "presample", "random", "lru",
+                                "lfu"],
+                       help="feature-cache admission policy (supersedes "
+                            "--cache; lru/lfu are the dynamic tiered "
+                            "policies)")
+    train.add_argument("--cache-budget", type=_unit_interval,
+                       default=None, metavar="FRAC",
+                       help="total multi-tier cache budget as a "
+                            "fraction of |V|, split by "
+                            "--cache-hot-fraction into a GPU-hot and a "
+                            "pinned-host-warm tier (remaining features "
+                            "disk-cold); overrides --cache-ratio")
+    train.add_argument("--cache-hot-fraction", type=_unit_interval,
+                       default=0.5, metavar="FRAC",
+                       help="share of --cache-budget held GPU-hot "
+                            "(default 0.5)")
     train.add_argument("--pipeline", default="bp+dt",
                        choices=["none", "bp", "bp+dt"])
     train.add_argument("--epochs", type=_positive_int, default=20)
@@ -168,6 +185,13 @@ def build_parser():
     serve.add_argument("--modes", nargs="+",
                        default=["sampled", "precomputed"],
                        choices=["sampled", "full", "precomputed"])
+    serve.add_argument("--tiered-policies", nargs="+",
+                       default=["lfu", "static"],
+                       choices=["lru", "lfu", "degree", "static"],
+                       help="tiered-cache admission policies swept in "
+                            "precomputed mode (each --cache-ratios "
+                            "budget split half GPU-hot, half "
+                            "pinned-host-warm)")
     serve.add_argument("--max-queue", type=int, default=256)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--quick", action="store_true",
@@ -239,12 +263,27 @@ def _cmd_train(args):
         return 2
     if args.sanitize:
         FLAGS.sanitize = True
+    cache_policy = args.cache_policy or args.cache
+    cache_ratio, warm_ratio = args.cache_ratio, 0.0
+    if args.cache_budget is not None:
+        if cache_policy is None:
+            print("error: --cache-budget requires --cache-policy",
+                  file=sys.stderr)
+            return 2
+        if cache_policy == "random":
+            print("error: random is a flat-cache ablation policy; "
+                  "tiered budgets support degree, presample, lru, lfu",
+                  file=sys.stderr)
+            return 2
+        cache_ratio = args.cache_budget * args.cache_hot_fraction
+        warm_ratio = args.cache_budget - cache_ratio
     dataset = load_dataset(args.dataset, scale=args.scale)
     config = TrainingConfig(
         model=args.model, partitioner=args.partitioner,
         num_workers=args.workers, batch_size=args.batch_size,
         fanout=tuple(args.fanout), transfer=args.transfer,
-        cache_policy=args.cache, cache_ratio=args.cache_ratio,
+        cache_policy=cache_policy, cache_ratio=cache_ratio,
+        cache_warm_ratio=warm_ratio,
         pipeline=args.pipeline, epochs=args.epochs, seed=args.seed,
         crash_policy=args.crash_policy)
     checkpointer = None
@@ -264,6 +303,13 @@ def _cmd_train(args):
     print(f"mean epoch (sim)   : {1e3 * result.mean_epoch_seconds:.3f} ms")
     for step, share in result.step_breakdown().items():
         print(f"  {step:18s} {100 * share:5.1f}%")
+    tiers = (getattr(result.epoch_stats[-1], "perf", None)
+             or {}).get("cache_tiers")
+    if tiers:
+        print(f"cache tiers        : "
+              f"hot {100 * tiers['hot_hit_rate']:.1f}% / "
+              f"warm {100 * tiers['warm_hit_rate']:.1f}% hits, "
+              f"{tiers['cold_misses']} cold misses")
     if args.faults:
         last = result.epoch_stats[-1]
         retries = sum(s.retries for s in result.epoch_stats)
@@ -374,20 +420,25 @@ def _cmd_serve_bench(args):
         rate=args.rate, num_requests=args.requests, skew=args.skew,
         seed=args.seed, policies=policies,
         cache_ratios=tuple(args.cache_ratios),
-        modes=tuple(args.modes), max_queue=args.max_queue,
-        quick=args.quick)
+        modes=tuple(args.modes),
+        tiered_policies=tuple(args.tiered_policies),
+        max_queue=args.max_queue, quick=args.quick)
 
     rows = []
     for result in report["results"]:
+        tiered = result["warm_ratio"] > 0
         rows.append({
             "mode": result["mode"],
             "policy": result["policy"],
-            "cache": result["cache_ratio"],
+            "cache": round(result["cache_ratio"]
+                           + result["warm_ratio"], 3),
+            "tiers": result["cache_policy"] if tiered else "-",
             "p50 (ms)": round(1e3 * result["latency_p50"], 3),
             "p95 (ms)": round(1e3 * result["latency_p95"], 3),
             "p99 (ms)": round(1e3 * result["latency_p99"], 3),
             "req/s": round(result["throughput"], 1),
             "hit rate": round(result["cache_hit_rate"], 3),
+            "warm hit": round(result["warm_hit_rate"], 3),
             "rejected": result["rejected"],
         })
     print(format_table(

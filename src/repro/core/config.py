@@ -21,7 +21,7 @@ from ..sampling import (HybridSampler, LayerWiseSampler, NeighborSampler,
                         RateSampler, Sampler, SubgraphSampler)
 from ..transfer import (DEFAULT_SPEC, DegreeCache, HardwareSpec, LRUCache,
                         PreSampleCache, RandomCache, TransferMethod,
-                        make_transfer)
+                        make_tiered_cache, make_transfer)
 
 __all__ = ["TrainingConfig", "make_partitioner", "make_sampler",
            "make_cache", "config_for_platform", "PARTITIONER_NAMES"]
@@ -63,15 +63,30 @@ def make_sampler(name, fanout=(25, 10), rate=0.1, num_layers=2, **kwargs):
     raise TrainingError(f"unknown sampler {name!r}")
 
 
-def make_cache(policy, dataset, ratio, sampler=None, seeds=None, rng=None):
-    """GPU cache factory for one worker.
+def make_cache(policy, dataset, ratio, sampler=None, seeds=None, rng=None,
+               warm_ratio=0.0):
+    """Feature cache factory for one worker.
 
-    ``policy`` is ``None`` (no cache), "degree", "presample", or
-    "random"; pre-sampling needs the worker's sampler and seed set.
+    ``policy`` is ``None`` (no cache), "degree", "presample", "random",
+    "lru", or "lfu"; pre-sampling needs the worker's sampler and seed
+    set.  With ``warm_ratio == 0`` a flat single-tier GPU cache is
+    built (features host-resident — the paper's §7.3.3 setting).  With
+    ``warm_ratio > 0`` the worker gets a
+    :class:`~repro.transfer.tiered.TieredCache` — ``ratio`` of the
+    vertices GPU-hot, ``warm_ratio`` pinned-host-warm, the rest
+    disk-cold — and the transfer methods bill misses tier by tier.
+    "lfu" has no flat equivalent and always builds a tiered cache.
     """
-    if policy is None or ratio <= 0:
+    if policy is None or (ratio <= 0 and warm_ratio <= 0):
         return None
     key = policy.lower()
+    if warm_ratio > 0 or key == "lfu":
+        if key == "random":
+            raise TrainingError(
+                "random is a flat-cache ablation policy; tiered caches "
+                "support lru, lfu, degree, and presample")
+        return make_tiered_cache(key, dataset.graph, ratio, warm_ratio,
+                                 sampler=sampler, seeds=seeds, rng=rng)
     if key == "degree":
         return DegreeCache(dataset.graph, ratio)
     if key == "random":
@@ -110,6 +125,11 @@ class TrainingConfig:
     transfer: object = "zero-copy"      # name or TransferMethod
     cache_policy: object = None         # None / "degree" / "presample" / ...
     cache_ratio: float = 0.0
+    # Warm-tier (pinned host) budget as a fraction of |V|.  Non-zero
+    # upgrades each worker's cache to a multi-tier TieredCache with
+    # `cache_ratio` GPU-hot, `cache_warm_ratio` host-warm, and the
+    # remaining features disk-cold (the BGL/out-of-core scenario).
+    cache_warm_ratio: float = 0.0
     # SALIENT++-style hot-remote-vertex replication budget per machine
     # (fraction of |V|; 0 disables).
     replication_budget: float = 0.0

@@ -202,7 +202,8 @@ class Trainer:
             caches.append(make_cache(
                 config.cache_policy, dataset, config.cache_ratio,
                 sampler=sampler, seeds=train_ids[owners == part],
-                rng=config.rng(salt=3 + part)))
+                rng=config.rng(salt=3 + part),
+                warm_ratio=config.cache_warm_ratio))
 
         engine = SyncEngine(
             dataset, partition, sampler, model, optimizer,

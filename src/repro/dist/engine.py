@@ -322,8 +322,10 @@ class SyncEngine:
                                   messages=network_msgs))
 
         stats = BatchStats.from_subgraph(subgraph, self.dataset)
-        dt = self.transfer.transfer(stats, spec,
-                                    cache=worker.cache).total_seconds
+        breakdown = self.transfer.transfer(stats, spec,
+                                           cache=worker.cache)
+        dt = breakdown.total_seconds
+        tier_seconds = breakdown.tier_seconds
 
         flops = estimate_flops(subgraph, self.dataset.feature_dim,
                                self.hidden_dim, self.num_classes)
@@ -340,6 +342,9 @@ class SyncEngine:
             bp *= multiplier
             dt *= multiplier
             nn *= multiplier
+            if tier_seconds is not None:
+                tier_seconds = {tier: seconds * multiplier
+                                for tier, seconds in tier_seconds.items()}
 
         return BatchWork(
             seeds=len(subgraph.seeds),
@@ -349,7 +354,8 @@ class SyncEngine:
             remote_sample_requests=remote_requests,
             bp_seconds=bp, dt_seconds=dt, nn_seconds=nn,
             retries=retries, giveups=giveups,
-            fault_seconds=fault_seconds)
+            fault_seconds=fault_seconds,
+            dt_tier_seconds=tier_seconds)
 
     def _allreduce_seconds(self):
         """Ring all-reduce of the gradient vector across the *surviving*
@@ -431,6 +437,8 @@ class SyncEngine:
         bp = dt = nn = fault_seconds = 0.0
         vertices = edges = remote_bytes = 0
         retries = giveups = 0
+        tier_seconds = {"hot": 0.0, "warm": 0.0, "cold": 0.0}
+        tiered_fetches = False
         for worker, count in zip(self.workers, batches_this_epoch):
             if count == 0:
                 continue
@@ -447,8 +455,23 @@ class SyncEngine:
             retries += sum(w.retries for w in recent)
             giveups += sum(w.giveups for w in recent)
             fault_seconds += sum(w.fault_seconds for w in recent)
+            for work in recent:
+                if work.dt_tier_seconds is not None:
+                    tiered_fetches = True
+                    for tier in tier_seconds:
+                        tier_seconds[tier] += \
+                            work.dt_tier_seconds.get(tier, 0.0)
         allreduce = self._allreduce_seconds() * num_steps
         epoch_seconds = max(makespans) + allreduce
+
+        perf = PERF.delta(perf_before)
+        if tiered_fetches:
+            # Per-tier transfer-seconds and aggregate tier hit rates of
+            # this epoch, surfaced through EpochStats.perf so benchmarks
+            # and the trainer see the cache's behaviour without holding
+            # the cache objects themselves.
+            perf["dt_tier_seconds"] = tier_seconds
+            perf["cache_tiers"] = self._cache_tier_stats()
 
         return EpochStats(
             loss=float(np.mean(losses)),
@@ -464,4 +487,21 @@ class SyncEngine:
             fault_seconds=fault_seconds,
             alive_workers=len(self.alive_workers),
             dropped_vertices=self._dropped,
-            perf=PERF.delta(perf_before))
+            perf=perf)
+
+    def _cache_tier_stats(self):
+        """Aggregate tier hit statistics across the workers' tiered
+        caches (cumulative since cache construction)."""
+        from ..transfer.tiered import TieredCache
+        hot = warm = cold = 0
+        for worker in self.workers:
+            if isinstance(worker.cache, TieredCache):
+                hot += worker.cache.hot_hits
+                warm += worker.cache.warm_hits
+                cold += worker.cache.cold_misses
+        total = hot + warm + cold
+        return {
+            "hot_hits": hot, "warm_hits": warm, "cold_misses": cold,
+            "hot_hit_rate": hot / total if total else 0.0,
+            "warm_hit_rate": warm / total if total else 0.0,
+        }

@@ -35,6 +35,10 @@ class BatchWork:
     retries: int = 0
     giveups: int = 0
     fault_seconds: float = 0.0
+    # Per-tier split of dt_seconds ({"hot": s, "warm": s, "cold": s})
+    # when the worker fetches through a TieredCache; None for flat
+    # caches.
+    dt_tier_seconds: dict = None
 
     @property
     def stage_times(self):

@@ -31,7 +31,8 @@ __all__ = ["run_serve_bench", "QUICK_OVERRIDES"]
 #: Parameter overrides for smoke runs (CI, ``--quick``).
 QUICK_OVERRIDES = dict(scale=0.15, train_epochs=1, num_requests=120,
                        policies=((4, 0.0005), (16, 0.002)),
-                       cache_ratios=(0.1, 0.5))
+                       cache_ratios=(0.1, 0.5),
+                       tiered_policies=("lfu",))
 
 
 def run_serve_bench(dataset="ogb-arxiv", scale=0.3, model="gcn",
@@ -40,11 +41,20 @@ def run_serve_bench(dataset="ogb-arxiv", scale=0.3, model="gcn",
                     policies=((4, 0.0005), (32, 0.004)),
                     cache_ratios=(0.1, 0.5),
                     modes=("sampled", "precomputed"),
+                    tiered_policies=("lfu", "static"),
                     max_queue=256, quick=False):
     """Run the full serving sweep; returns a JSON-serializable dict.
 
     ``policies`` are ``(max_batch_size, max_wait_seconds)`` pairs;
     ``quick=True`` applies :data:`QUICK_OVERRIDES` for a fast smoke.
+
+    Besides the flat ``mode x policy x cache_ratio`` grid, each
+    ``tiered_policies`` entry is swept once per cache ratio in
+    precomputed mode with the same *total* budget split half GPU-hot,
+    half pinned-host-warm ("static" places rows by request frequencies
+    measured on the first quarter of the trace — the BGL-style
+    presampled admission, serving edition); those rows carry per-tier
+    hit rates and a per-tier ``dt_seconds`` split.
     """
     if quick:
         scale = QUICK_OVERRIDES["scale"]
@@ -52,6 +62,7 @@ def run_serve_bench(dataset="ogb-arxiv", scale=0.3, model="gcn",
         num_requests = QUICK_OVERRIDES["num_requests"]
         policies = QUICK_OVERRIDES["policies"]
         cache_ratios = QUICK_OVERRIDES["cache_ratios"]
+        tiered_policies = QUICK_OVERRIDES["tiered_policies"]
     if len(policies) < 1 or len(cache_ratios) < 1:
         raise ServingError("need at least one policy and cache ratio")
 
@@ -93,6 +104,29 @@ def run_serve_bench(dataset="ogb-arxiv", scale=0.3, model="gcn",
                     embeddings=(embeddings if mode != "sampled"
                                 else None))
                 results.append(engine.run(trace).to_dict())
+
+    # Tiered sweep: same total budget as each flat row, split half
+    # GPU-hot / half pinned-host-warm, served in precomputed mode with
+    # the first policy's batching.  "static" admission scores rows by
+    # request frequencies measured on the first quarter of the trace.
+    size, wait = policies[0]
+    measured = np.zeros(data.graph.num_vertices)
+    np.add.at(measured,
+              [r.vertex for r in trace[:max(1, len(trace) // 4)]], 1)
+    for tier_policy in tiered_policies:
+        for ratio in cache_ratios:
+            engine = ServeEngine(
+                data, trained, mode="precomputed",
+                policy=BatchPolicy(max_batch_size=int(size),
+                                   max_wait=float(wait)),
+                max_queue=max_queue, fanout=tuple(fanout),
+                cache_policy=tier_policy,
+                cache_ratio=float(ratio) / 2,
+                warm_ratio=float(ratio) / 2,
+                cache_scores=(measured if tier_policy
+                              in ("static", "presample") else None),
+                seed=seed, embeddings=embeddings)
+            results.append(engine.run(trace).to_dict())
 
     return {
         "dataset": data.name,

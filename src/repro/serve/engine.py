@@ -43,11 +43,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import AdmissionError, ServingError
+from ..errors import AdmissionError, ServingError, TransferError
 from ..perf import PERF, StageProfiler
 from ..sampling import NeighborSampler
 from ..transfer.cache import DegreeCache, LRUCache
 from ..transfer.hardware import DEFAULT_SPEC, estimate_flops
+from ..transfer.tiered import TieredCache, make_tiered_cache
 from .batcher import BatchPolicy, MicroBatcher
 from .metrics import ServeReport
 from .precompute import LayerwiseEmbeddings
@@ -87,8 +88,18 @@ class ServeEngine:
         Per-layer fanout for ``sampled`` mode.
     cache_policy, cache_ratio:
         ``sampled``/``full``: the GPU *feature* cache ("lru" or
-        "degree"); ``precomputed``: the LRU *embedding-row* cache.
+        "degree"); ``precomputed``: the *embedding-row* cache.
         ``cache_ratio=0`` disables caching (every row is fetched).
+    warm_ratio, cache_scores:
+        ``warm_ratio > 0`` (or ``cache_policy="lfu"``, which has no
+        flat equivalent) upgrades the cache to a multi-tier
+        :class:`~repro.transfer.tiered.TieredCache`: ``cache_ratio``
+        of the rows GPU-hot, ``warm_ratio`` pinned-host-warm, the rest
+        disk-cold — the policies grow to "lru"/"lfu"/"degree"/
+        "presample"/"static" ("presample"/"static" need
+        ``cache_scores``, e.g. measured request frequencies from a
+        trace prefix).  The report then carries per-tier hit rates and
+        the per-tier split of ``dt_seconds``.
     spec:
         Hardware cost model; defaults to the paper's simulated node.
     seed:
@@ -113,8 +124,9 @@ class ServeEngine:
 
     def __init__(self, dataset, model, mode="sampled", policy=None,
                  max_queue=None, fanout=(10, 10), cache_policy="lru",
-                 cache_ratio=0.0, spec=None, seed=0, embeddings=None,
-                 deadline=None, fallback=False):
+                 cache_ratio=0.0, warm_ratio=0.0, cache_scores=None,
+                 spec=None, seed=0, embeddings=None, deadline=None,
+                 fallback=False):
         if mode not in SERVE_MODES:
             raise ServingError(
                 f"unknown serve mode {mode!r}; known: {SERVE_MODES}")
@@ -137,7 +149,12 @@ class ServeEngine:
         self.spec = spec or DEFAULT_SPEC
         self.seed = int(seed)
         self.cache_ratio = float(cache_ratio)
+        self.warm_ratio = float(warm_ratio)
+        if self.warm_ratio < 0:
+            raise ServingError(
+                f"warm_ratio must be non-negative, got {warm_ratio}")
         self.cache_policy = cache_policy
+        self.cache_scores = cache_scores
         self.hidden_dim = _model_hidden_dim(model)
         self._feat_bytes = (dataset.feature_dim
                             * dataset.features.itemsize)
@@ -165,6 +182,7 @@ class ServeEngine:
             self.precompute_seconds = self._precompute_cost()
 
         self.cache = self._build_cache()
+        self._tier_seconds = {"hot": 0.0, "warm": 0.0, "cold": 0.0}
 
     def _precompute_cost(self):
         """Simulated cost of the one-off offline embedding pass."""
@@ -174,8 +192,21 @@ class ServeEngine:
                 + self.spec.compute_time(self.embeddings.build_flops))
 
     def _build_cache(self):
-        if self.cache_ratio <= 0:
+        if self.cache_ratio <= 0 and self.warm_ratio <= 0:
             return None
+        if self.warm_ratio > 0 or self.cache_policy == "lfu":
+            # Multi-tier cache over the disk-backed hierarchy — the
+            # same TieredCache the training workers use, here caching
+            # feature rows (sampled/full) or embedding-table rows
+            # (precomputed; row ids are vertex ids, so graph-degree
+            # placement stays meaningful).
+            try:
+                return make_tiered_cache(
+                    self.cache_policy, self.dataset.graph,
+                    self.cache_ratio, self.warm_ratio,
+                    scores=self.cache_scores)
+            except TransferError as exc:
+                raise ServingError(str(exc)) from exc
         if self.mode == "precomputed":
             # Historical-embedding cache: LRU over table rows.
             return LRUCache(self.embeddings.num_vertices,
@@ -186,14 +217,23 @@ class ServeEngine:
             return LRUCache(self.dataset.graph, self.cache_ratio)
         raise ServingError(
             f"unknown serving cache policy {self.cache_policy!r}; "
-            f"known: lru, degree")
+            f"known: lru, degree (flat) and lru, lfu, degree, "
+            f"presample, static (tiered, warm_ratio > 0)")
 
     # ------------------------------------------------------------------
     # Per-batch execution
     # ------------------------------------------------------------------
     def _fetch_seconds(self, row_ids, row_bytes):
         """Simulated time to materialize ``row_ids`` on the GPU through
-        the cache (hits are resident; misses cross host + PCIe)."""
+        the cache (hits are resident; misses cross host + PCIe; with a
+        tiered cache each tier is billed its own path and the split is
+        accumulated for the report)."""
+        if isinstance(self.cache, TieredCache):
+            seconds, bill = self.cache.fetch_seconds(
+                row_ids, row_bytes, self.spec)
+            for tier, value in sorted(bill.tier_seconds().items()):
+                self._tier_seconds[tier] += value
+            return seconds
         if self.cache is not None:
             _hits, misses = self.cache.lookup(row_ids)
         else:
@@ -283,6 +323,7 @@ class ServeEngine:
             raise ServingError("cannot serve an empty request trace")
         batcher = MicroBatcher(self.policy, self.max_queue)
         metrics = StageProfiler()
+        self._tier_seconds = {"hot": 0.0, "warm": 0.0, "cold": 0.0}
         rng = np.random.default_rng(self.seed)
         labels = self.dataset.labels
 
@@ -368,6 +409,7 @@ class ServeEngine:
         depth = metrics.summary("queue_depth")
         duration = max(r.completion for r in responses) if responses \
             else 0.0
+        tiered = isinstance(self.cache, TieredCache)
         return ServeReport(
             mode=self.mode,
             policy=self.policy.describe(),
@@ -403,5 +445,10 @@ class ServeEngine:
                 1 for r in responses
                 if r.latency > self.deadline)
                 if self.deadline is not None else 0),
+            cache_policy=self.cache_policy,
+            warm_ratio=self.warm_ratio,
+            hot_hit_rate=(self.cache.hot_hit_rate if tiered else 0.0),
+            warm_hit_rate=(self.cache.warm_hit_rate if tiered else 0.0),
+            tier_seconds=(dict(self._tier_seconds) if tiered else {}),
             responses=responses,
         )

@@ -12,6 +12,9 @@ from .methods import (TOPOLOGY_BYTES_PER_EDGE, BatchStats, ExtractLoad,
                       ZeroCopy, make_transfer)
 from .pipeline import (PIPELINE_MODES, PipelineResult, pipeline_groups,
                        simulate_pipeline)
+from .tiered import (DYNAMIC_TIER_POLICIES, TIER_POLICIES, TierBill,
+                     TieredCache, TierLookup, make_tiered_cache,
+                     select_lowest)
 from .platform import (PLATFORM_NAMES, NoTransfer, Platform, cpu_cluster,
                        gpu_cluster, multi_gpu)
 from .trace import epoch_trace_events, worker_trace, write_epoch_trace
@@ -23,6 +26,8 @@ __all__ = [
     "TOPOLOGY_BYTES_PER_EDGE",
     "GPUCache", "DegreeCache", "PreSampleCache", "RandomCache",
     "LRUCache", "presample_frequencies",
+    "TieredCache", "TierLookup", "TierBill", "make_tiered_cache",
+    "select_lowest", "TIER_POLICIES", "DYNAMIC_TIER_POLICIES",
     "BlockActivity", "block_activity", "active_block_ratio",
     "threshold_sweep",
     "PipelineResult", "simulate_pipeline", "PIPELINE_MODES",

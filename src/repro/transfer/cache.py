@@ -140,6 +140,14 @@ class LRUCache(GPUCache):
     when the access distribution drifts — at the cost of per-access
     bookkeeping on the critical path (the trade BGL's dynamic cache
     makes).
+
+    Bookkeeping is batched array work: the resident set is maintained
+    as an id array (no full-bitmap scan per lookup) and eviction picks
+    the ``overflow`` least-recent residents with an O(residents)
+    partition instead of a full sort (see
+    :func:`~repro.transfer.tiered.select_lowest`;
+    ``benchmarks/bench_cache_tiers.py --micro`` measures the win over
+    the scan-and-sort implementation this replaced).
     """
 
     policy = "lru"
@@ -157,9 +165,11 @@ class LRUCache(GPUCache):
         # Last-use timestamp per vertex; -1 = not resident.
         self._last_used = np.full(num_vertices, -1, dtype=np.int64)
         self._resident = 0
+        self._resident_ids = np.empty(0, dtype=np.int64)
 
     def lookup(self, vertices):
         """Split into hits/misses, then admit the misses (LRU evict)."""
+        from .tiered import select_lowest
         vertices = np.asarray(vertices, dtype=np.int64)
         mask = self._bitmap[vertices]
         self.hits += int(mask.sum())
@@ -172,19 +182,21 @@ class LRUCache(GPUCache):
             admit = np.unique(missed)
             overflow = self._resident + len(admit) - self.capacity
             if overflow > 0:
-                resident_ids = np.flatnonzero(self._bitmap)
-                order = np.argsort(self._last_used[resident_ids],
-                                   kind="stable")
-                evict = resident_ids[order[:overflow]]
-                # Never evict something admitted this very call.
-                evict = np.setdiff1d(evict, admit, assume_unique=False)
+                # Misses are by definition not resident, so the admit
+                # set never collides with the eviction candidates.
+                ids = self._resident_ids
+                evict = select_lowest(ids, self._last_used[ids],
+                                      min(overflow, len(ids)))
                 self._bitmap[evict] = False
                 self._last_used[evict] = -1
-                self._resident -= len(evict)
+                self._resident_ids = ids[self._bitmap[ids]]
+                self._resident = len(self._resident_ids)
             room = self.capacity - self._resident
             admit = admit[:max(room, 0)]
             self._bitmap[admit] = True
             self._last_used[admit] = self._clock
+            self._resident_ids = np.concatenate(
+                [self._resident_ids, admit])
             self._resident += len(admit)
         return hits, missed
 

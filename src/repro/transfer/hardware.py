@@ -48,6 +48,16 @@ class HardwareSpec:
     # 10 Gbps Ethernet between nodes.
     network_bandwidth: float = 1.25e9
     network_latency: float = 50e-6
+    # Warm tier: page-locked (pinned) host memory holding staged
+    # feature rows.  Reads out of the pinned region skip the page-fault
+    # path, so they run faster than the scattered-row gather from
+    # pageable memory (`cpu_gather_bandwidth`).
+    host_cache_bandwidth: float = 32e9
+    # Cold tier: NVMe-class local storage (or a remote feature store)
+    # behind the host.  Sequential-ish batched reads of feature rows;
+    # the latency term charges the request round-trip once per batch.
+    disk_bandwidth: float = 0.5e9
+    disk_latency: float = 100e-6
     # T4: ~8.1 TFLOPS fp32 peak; the GEMM-dominated layers of a
     # 128-hidden GNN run near peak, calibrated so NN computation is the
     # minor share of GNN training that Figure 2 reports.
@@ -57,10 +67,14 @@ class HardwareSpec:
 
     def __post_init__(self):
         positive = ("pcie_bandwidth", "cpu_gather_bandwidth",
-                    "cpu_sample_rate", "network_bandwidth", "gpu_flops")
+                    "cpu_sample_rate", "network_bandwidth", "gpu_flops",
+                    "host_cache_bandwidth", "disk_bandwidth")
         for name in positive:
             if getattr(self, name) <= 0:
                 raise TransferError(f"{name} must be positive")
+        for name in ("pcie_latency", "network_latency", "disk_latency"):
+            if getattr(self, name) < 0:
+                raise TransferError(f"{name} must be non-negative")
         if not 0 < self.zero_copy_efficiency <= 1:
             raise TransferError("zero_copy_efficiency must be in (0, 1]")
         if not 0 < self.gpu_efficiency <= 1:
@@ -80,6 +94,18 @@ class HardwareSpec:
     def gather_time(self, num_bytes):
         """CPU-side scattered feature extraction into staging memory."""
         return num_bytes / self.cpu_gather_bandwidth
+
+    def host_cache_time(self, num_bytes):
+        """Warm-tier read: scattered rows out of the pinned host cache
+        (no page faults, so faster than the pageable gather)."""
+        return num_bytes / self.host_cache_bandwidth
+
+    def disk_time(self, num_bytes, reads=1):
+        """Cold-tier fetch: ``num_bytes`` of feature rows from local
+        NVMe / remote feature store, ``reads`` batched requests."""
+        if num_bytes == 0:
+            return 0.0
+        return num_bytes / self.disk_bandwidth + reads * self.disk_latency
 
     def sample_time(self, num_edges):
         """CPU-side neighbor sampling of ``num_edges`` sampled edges."""

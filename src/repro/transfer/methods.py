@@ -26,6 +26,7 @@ import numpy as np
 
 from ..errors import TransferError
 from .blocks import block_activity
+from .tiered import TieredCache
 
 __all__ = ["BatchStats", "TransferBreakdown", "TransferMethod",
            "ExtractLoad", "ZeroCopy", "HybridTransfer", "make_transfer",
@@ -63,25 +64,54 @@ class BatchStats:
 
 @dataclass
 class TransferBreakdown:
-    """Seconds and bytes of one batch's CPU→GPU movement."""
+    """Seconds and bytes of one batch's CPU→GPU movement.
+
+    With a :class:`~repro.transfer.tiered.TieredCache` in front of the
+    features, ``disk_seconds`` carries the cold tier's storage fetch
+    (charged on top of the host + PCIe path) and ``tier_seconds`` /
+    ``tier_bytes`` split the feature movement per tier (topology bytes
+    are not attributed to a tier).  Flat caches leave them zero/empty.
+    """
 
     extract_seconds: float
     load_seconds: float
     bytes_moved: int
+    disk_seconds: float = 0.0
+    tier_seconds: dict = None
+    tier_bytes: dict = None
 
     @property
     def total_seconds(self):
-        return self.extract_seconds + self.load_seconds
+        return self.extract_seconds + self.load_seconds \
+            + self.disk_seconds
 
 
 class TransferMethod(abc.ABC):
-    """Base class: compute a :class:`TransferBreakdown` for a batch."""
+    """Base class: compute a :class:`TransferBreakdown` for a batch.
+
+    ``cache`` is either a flat :class:`~repro.transfer.cache.GPUCache`
+    (misses all pay the host + PCIe path — the features live in host
+    RAM) or a :class:`~repro.transfer.tiered.TieredCache` (misses are
+    billed tier by tier: warm rows come from pinned host memory, cold
+    rows additionally pay the disk fetch).
+    """
 
     name = "abstract"
 
-    @abc.abstractmethod
     def transfer(self, stats, spec, cache=None):
-        """Time one batch; ``cache`` (a GPUCache) filters feature rows."""
+        """Time one batch; ``cache`` filters and tiers feature rows."""
+        if isinstance(cache, TieredCache):
+            return self._transfer_tiered(
+                stats, spec, cache.lookup(stats.input_nodes))
+        return self._transfer_flat(stats, spec, cache)
+
+    @abc.abstractmethod
+    def _transfer_flat(self, stats, spec, cache):
+        """The single-tier path (features host-resident)."""
+
+    @abc.abstractmethod
+    def _transfer_tiered(self, stats, spec, lookup):
+        """The multi-tier path, billed per tier of ``lookup``."""
 
     def _miss_nodes(self, stats, cache):
         if cache is None:
@@ -89,13 +119,28 @@ class TransferMethod(abc.ABC):
         _hits, misses = cache.lookup(stats.input_nodes)
         return misses
 
+    @staticmethod
+    def _tier_split(breakdown, warm_bytes, cold_bytes, warm_own,
+                    cold_own, pcie_shared):
+        """Attach per-tier seconds/bytes to ``breakdown``: each tier's
+        own cost plus a bytes-proportional share of the shared PCIe
+        crossing."""
+        moved = warm_bytes + cold_bytes
+        warm_share = pcie_shared * warm_bytes / moved if moved else 0.0
+        cold_share = pcie_shared - warm_share if moved else 0.0
+        breakdown.tier_seconds = {"hot": 0.0,
+                                  "warm": warm_own + warm_share,
+                                  "cold": cold_own + cold_share}
+        breakdown.tier_bytes = {"warm": warm_bytes, "cold": cold_bytes}
+        return breakdown
+
 
 class ExtractLoad(TransferMethod):
     """Explicit extract-then-DMA transfer."""
 
     name = "extract-load"
 
-    def transfer(self, stats, spec, cache=None):
+    def _transfer_flat(self, stats, spec, cache):
         misses = self._miss_nodes(stats, cache)
         miss_bytes = len(misses) * stats.feature_bytes_per_vertex
         extract = spec.gather_time(miss_bytes)
@@ -103,13 +148,35 @@ class ExtractLoad(TransferMethod):
         load = spec.pcie_time(payload, transfers=2)
         return TransferBreakdown(extract, load, payload)
 
+    def _transfer_tiered(self, stats, spec, lookup):
+        row = stats.feature_bytes_per_vertex
+        warm_bytes = lookup.num_warm * row
+        cold_bytes = lookup.num_cold * row
+        # Warm rows are staged out of the pinned cache, cold rows are
+        # gathered from the (disk-fetched) pageable pages; both then
+        # ride the same DMA alongside the topology.
+        extract = (spec.host_cache_time(warm_bytes)
+                   + spec.gather_time(cold_bytes))
+        disk = spec.disk_time(cold_bytes)
+        payload = warm_bytes + cold_bytes + stats.topology_bytes
+        load = spec.pcie_time(payload, transfers=2)
+        pcie_rows = load - spec.pcie_time(stats.topology_bytes,
+                                          transfers=2) \
+            if warm_bytes + cold_bytes else 0.0
+        return self._tier_split(
+            TransferBreakdown(extract, load, payload, disk_seconds=disk),
+            warm_bytes, cold_bytes,
+            warm_own=spec.host_cache_time(warm_bytes),
+            cold_own=disk + spec.gather_time(cold_bytes),
+            pcie_shared=pcie_rows)
+
 
 class ZeroCopy(TransferMethod):
     """UVA zero-copy transfer: no extraction, reduced-efficiency reads."""
 
     name = "zero-copy"
 
-    def transfer(self, stats, spec, cache=None):
+    def _transfer_flat(self, stats, spec, cache):
         misses = self._miss_nodes(stats, cache)
         miss_bytes = len(misses) * stats.feature_bytes_per_vertex
         # Topology is still shipped explicitly (it is contiguous anyway).
@@ -117,6 +184,29 @@ class ZeroCopy(TransferMethod):
                 + spec.pcie_time(stats.topology_bytes, transfers=1))
         return TransferBreakdown(0.0, load,
                                  miss_bytes + stats.topology_bytes)
+
+    def _transfer_tiered(self, stats, spec, lookup):
+        row = stats.feature_bytes_per_vertex
+        warm_bytes = lookup.num_warm * row
+        cold_bytes = lookup.num_cold * row
+        # The warm tier is pinned memory — exactly what UVA zero-copy
+        # reads from — so warm rows need no staging at all.  Cold rows
+        # must land in the pinned region first (disk fetch + gather)
+        # before the GPU can read them.
+        disk = spec.disk_time(cold_bytes)
+        extract = spec.gather_time(cold_bytes)
+        load = (spec.zero_copy_time(warm_bytes + cold_bytes)
+                + spec.pcie_time(stats.topology_bytes, transfers=1))
+        zc_rows = spec.zero_copy_time(warm_bytes + cold_bytes)
+        return self._tier_split(
+            TransferBreakdown(extract, load,
+                              warm_bytes + cold_bytes
+                              + stats.topology_bytes,
+                              disk_seconds=disk),
+            warm_bytes, cold_bytes,
+            warm_own=0.0,
+            cold_own=disk + extract,
+            pcie_shared=zc_rows)
 
 
 class HybridTransfer(TransferMethod):
@@ -140,8 +230,27 @@ class HybridTransfer(TransferMethod):
         self.threshold = float(threshold)
         self.block_bytes = int(block_bytes)
 
-    def transfer(self, stats, spec, cache=None):
+    def _transfer_flat(self, stats, spec, cache):
         misses = self._miss_nodes(stats, cache)
+        return self._block_breakdown(misses, stats, spec)
+
+    def _transfer_tiered(self, stats, spec, lookup):
+        # The per-block dense/sparse decision applies to every row that
+        # is not GPU-resident; cold rows additionally pay the storage
+        # fetch before they are host-readable at all.
+        row = stats.feature_bytes_per_vertex
+        warm_bytes = lookup.num_warm * row
+        cold_bytes = lookup.num_cold * row
+        breakdown = self._block_breakdown(lookup.misses, stats, spec)
+        disk = spec.disk_time(cold_bytes)
+        breakdown.disk_seconds = disk
+        # The block machinery does not preserve which rows came from
+        # which tier, so the host+PCIe cost is split by bytes.
+        return self._tier_split(breakdown, warm_bytes, cold_bytes,
+                                warm_own=0.0, cold_own=disk,
+                                pcie_shared=breakdown.load_seconds)
+
+    def _block_breakdown(self, misses, stats, spec):
         activity = block_activity(misses, stats.num_vertices_total,
                                   stats.feature_bytes_per_vertex,
                                   block_bytes=self.block_bytes)

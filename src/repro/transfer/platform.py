@@ -41,6 +41,12 @@ class NoTransfer(TransferMethod):
         # A cache slot is meaningless without a device; ignore it.
         return TransferBreakdown(0.0, 0.0, 0)
 
+    def _transfer_flat(self, stats, spec, cache):
+        return self.transfer(stats, spec, cache)
+
+    def _transfer_tiered(self, stats, spec, lookup):
+        return TransferBreakdown(0.0, 0.0, 0)
+
 
 @dataclass(frozen=True)
 class Platform:

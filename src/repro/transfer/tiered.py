@@ -1,0 +1,470 @@
+"""The unified multi-tier feature cache (BGL direction).
+
+``transfer.cache`` models a single flat GPU-resident cache; this module
+generalizes it to the storage hierarchy BGL-style systems actually
+manage:
+
+* **hot** tier — feature/embedding rows resident in spare GPU memory;
+  a hit costs nothing (the row is already device-side);
+* **warm** tier — rows staged in page-locked (pinned) host memory; a
+  hit pays a fast pinned-memory read plus the PCIe crossing;
+* **cold** tier — everything else, backed by local NVMe or a remote
+  feature store; a miss pays the disk fetch *and* the host + PCIe path.
+
+One :class:`TieredCache` serves both consumers: the training engines'
+feature fetch (:mod:`repro.transfer.methods` bills misses tier by tier)
+and the serving engine's embedding lookup (the precomputed-mode LRU
+becomes the hot tier of the same structure), so admission policy code
+and hit-rate metrics are shared instead of duplicated.
+
+Admission/eviction is pluggable:
+
+* ``"degree"`` — static degree-weighted placement (PaGraph): hottest
+  tiers hold the highest out-degree vertices;
+* ``"presample"`` — static frequency placement measured by
+  pre-sampling the real access pattern (GNNLab/BGL);
+* ``"static"`` — static placement by any caller-supplied score
+  (serving uses measured request frequencies here);
+* ``"lfu"`` — dynamic frequency: every access bumps a counter, touched
+  rows are promoted to hot, overflow demotes the lowest-frequency rows
+  down the hierarchy;
+* ``"lru"`` — dynamic recency: same machinery with a clock score.
+  With ``warm_capacity=0`` this is exactly the flat single-tier LRU
+  baseline, living in the same disk-backed cost model.
+
+All bookkeeping is vectorized — bitmap/array operations per lookup, no
+per-vertex Python on hits or misses — and fully deterministic:
+demotion/eviction picks the lowest ``(score, vertex id)`` pairs via
+:func:`select_lowest`, so identical lookup sequences produce
+bit-identical hit/miss sequences and residency states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TransferError
+from .cache import presample_frequencies
+
+__all__ = ["TieredCache", "TierLookup", "TierBill", "make_tiered_cache",
+           "select_lowest", "TIER_POLICIES", "DYNAMIC_TIER_POLICIES"]
+
+#: Admission policies `make_tiered_cache` understands.
+TIER_POLICIES = ("lru", "lfu", "degree", "presample", "static")
+#: The subset that adapts online (the rest place rows once, up front).
+DYNAMIC_TIER_POLICIES = ("lru", "lfu")
+
+# Tier codes in the residency array.
+_COLD, _WARM, _HOT = 0, 1, 2
+
+
+def select_lowest(ids, scores, k):
+    """The ``k`` elements of ``ids`` with the lowest ``(score, id)``.
+
+    Deterministic and platform-stable: strictly-lowest scores win, ties
+    at the threshold score break toward lower ids.  O(n) partition plus
+    a sort over only the tied group.
+    """
+    if k <= 0:
+        return ids[:0]
+    if k >= len(ids):
+        return ids
+    kth = np.partition(scores, k - 1)[k - 1]
+    below = ids[scores < kth]
+    tied = np.sort(ids[scores == kth])
+    return np.concatenate([below, tied[:k - len(below)]])
+
+
+@dataclass(frozen=True)
+class TierLookup:
+    """Per-tier split of one batched lookup.
+
+    ``hot_mask``/``warm_mask``/``cold_mask`` are parallel to
+    ``vertices`` (duplicates keep their own entry, mirroring the flat
+    caches' request-level accounting).
+    """
+
+    vertices: np.ndarray
+    hot_mask: np.ndarray
+    warm_mask: np.ndarray
+    cold_mask: np.ndarray
+
+    @property
+    def hot_ids(self):
+        return self.vertices[self.hot_mask]
+
+    @property
+    def warm_ids(self):
+        return self.vertices[self.warm_mask]
+
+    @property
+    def cold_ids(self):
+        return self.vertices[self.cold_mask]
+
+    @property
+    def num_hot(self):
+        return int(self.hot_mask.sum())
+
+    @property
+    def num_warm(self):
+        return int(self.warm_mask.sum())
+
+    @property
+    def num_cold(self):
+        return int(self.cold_mask.sum())
+
+    @property
+    def misses(self):
+        """Rows not GPU-resident (what a flat cache calls misses)."""
+        return self.vertices[~self.hot_mask]
+
+
+@dataclass(frozen=True)
+class TierBill:
+    """Simulated seconds and bytes of one tiered fetch, per tier."""
+
+    hot_seconds: float
+    warm_seconds: float
+    cold_seconds: float
+    hot_bytes: int
+    warm_bytes: int
+    cold_bytes: int
+
+    @property
+    def total_seconds(self):
+        return self.hot_seconds + self.warm_seconds + self.cold_seconds
+
+    @property
+    def bytes_moved(self):
+        """Bytes that crossed a boundary (hot rows never move)."""
+        return self.warm_bytes + self.cold_bytes
+
+    def tier_seconds(self):
+        """The per-tier seconds as a ``{"hot", "warm", "cold"}`` dict
+        (the shape reports and perf counters carry)."""
+        return {"hot": self.hot_seconds, "warm": self.warm_seconds,
+                "cold": self.cold_seconds}
+
+
+class TieredCache:
+    """A two-resident-tier (hot GPU / warm pinned-host) cache over a
+    disk-backed cold tier.
+
+    Parameters
+    ----------
+    num_vertices:
+        Size of the row universe (graph vertices or embedding-table
+        rows).
+    hot_capacity, warm_capacity:
+        Row budgets of the GPU and pinned-host tiers.  Both zero makes
+        the cache *disabled*: every lookup is a zero-bookkeeping
+        pass-through reporting all rows cold.
+    policy:
+        One of :data:`TIER_POLICIES`.
+    scores:
+        Static placement score per vertex (required for the static
+        policies; higher scores land in hotter tiers).
+
+    Invariants, preserved under arbitrary lookup sequences: a row is
+    resident in at most one tier, and each tier holds at most its
+    capacity.  :meth:`residency` exposes the live counts for tests.
+    """
+
+    def __init__(self, num_vertices, hot_capacity, warm_capacity,
+                 policy="lfu", scores=None):
+        num_vertices = int(num_vertices)
+        if num_vertices < 0:
+            raise TransferError("num_vertices must be non-negative")
+        if policy not in TIER_POLICIES:
+            raise TransferError(
+                f"unknown tier policy {policy!r}; known: {TIER_POLICIES}")
+        hot_capacity = int(hot_capacity)
+        warm_capacity = int(warm_capacity)
+        if hot_capacity < 0 or warm_capacity < 0:
+            raise TransferError("tier capacities must be non-negative")
+        if hot_capacity + warm_capacity > num_vertices:
+            raise TransferError(
+                f"total tier budget {hot_capacity + warm_capacity} "
+                f"exceeds the {num_vertices}-row universe")
+        self.num_vertices = num_vertices
+        self.hot_capacity = hot_capacity
+        self.warm_capacity = warm_capacity
+        self.policy = policy
+        self.dynamic = policy in DYNAMIC_TIER_POLICIES
+        self.enabled = (hot_capacity + warm_capacity) > 0
+
+        self.hot_hits = 0
+        self.warm_hits = 0
+        self.cold_misses = 0
+
+        if not self.enabled:
+            # Disabled cache: no residency state at all.  lookup() takes
+            # the pass-through path and never touches these.
+            self._tier = None
+            return
+
+        self._tier = np.zeros(num_vertices, dtype=np.int8)
+        self._clock = 0
+        if self.dynamic:
+            # Priority score per row: LRU keeps a last-use clock, LFU an
+            # access count.  Rows start cold with score 0.
+            self._score = np.zeros(num_vertices, dtype=np.int64)
+            self._hot_ids = np.empty(0, dtype=np.int64)
+            self._warm_ids = np.empty(0, dtype=np.int64)
+        else:
+            if scores is None:
+                raise TransferError(
+                    f"static tier policy {policy!r} needs a score array")
+            scores = np.asarray(scores, dtype=np.float64)
+            if scores.shape != (num_vertices,):
+                raise TransferError(
+                    f"scores must have shape ({num_vertices},), got "
+                    f"{scores.shape}")
+            # Stable sort on -score => ties broken toward lower ids.
+            order = np.argsort(-scores, kind="stable")
+            hot = order[:hot_capacity]
+            warm = order[hot_capacity:hot_capacity + warm_capacity]
+            self._tier[hot] = _HOT
+            self._tier[warm] = _WARM
+            self._hot_ids = np.sort(hot)
+            self._warm_ids = np.sort(warm)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self):
+        """Total resident budget across hot + warm."""
+        return self.hot_capacity + self.warm_capacity
+
+    def residency(self):
+        """Live resident-row counts per tier (for invariant checks)."""
+        if not self.enabled:
+            return {"hot": 0, "warm": 0}
+        return {"hot": int((self._tier == _HOT).sum()),
+                "warm": int((self._tier == _WARM).sum())}
+
+    @property
+    def requests(self):
+        return self.hot_hits + self.warm_hits + self.cold_misses
+
+    @property
+    def hot_hit_rate(self):
+        total = self.requests
+        return self.hot_hits / total if total else 0.0
+
+    @property
+    def warm_hit_rate(self):
+        total = self.requests
+        return self.warm_hits / total if total else 0.0
+
+    @property
+    def hit_rate(self):
+        """GPU-resident hit rate — comparable to the flat caches'."""
+        return self.hot_hit_rate
+
+    def hit_rates(self):
+        """All three tiers' request shares in one dict."""
+        return {"hot": self.hot_hit_rate, "warm": self.warm_hit_rate,
+                "cold": (self.cold_misses / self.requests
+                         if self.requests else 0.0)}
+
+    def reset_stats(self):
+        """Zero the hit/miss counters (residency is untouched)."""
+        self.hot_hits = 0
+        self.warm_hits = 0
+        self.cold_misses = 0
+
+    # ------------------------------------------------------------------
+    # The lookup fast path
+    # ------------------------------------------------------------------
+    def lookup(self, vertices):
+        """Split a batched request into per-tier hits; dynamic policies
+        then promote/admit the touched rows.  Returns a
+        :class:`TierLookup`."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if not self.enabled:
+            # Zero-cost pass-through: no residency, no score updates.
+            none = np.zeros(len(vertices), dtype=bool)
+            self.cold_misses += len(vertices)
+            return TierLookup(vertices, none, none, ~none)
+
+        tiers = self._tier[vertices]
+        hot = tiers == _HOT
+        warm = tiers == _WARM
+        cold = tiers == _COLD
+        self.hot_hits += int(hot.sum())
+        self.warm_hits += int(warm.sum())
+        self.cold_misses += int(cold.sum())
+
+        if self.dynamic and len(vertices):
+            self._admit(vertices)
+        return TierLookup(vertices, hot, warm, cold)
+
+    def _admit(self, vertices):
+        """Promote every row touched this call to the hot tier,
+        cascading demotions/evictions down the hierarchy (batched
+        array ops throughout)."""
+        self._clock += 1
+        touched = np.unique(vertices)
+        if self.policy == "lru":
+            self._score[touched] = self._clock
+        else:  # lfu: each access counts, duplicates included
+            np.add.at(self._score, vertices, 1)
+
+        if self.hot_capacity == 0:
+            # Degenerate warm-only configuration: admit the rows not
+            # already resident (touched residents keep their slot, with
+            # their score freshly bumped above).
+            new = touched[self._tier[touched] != _WARM]
+            if len(new):
+                self._admit_into_warm(new)
+            return
+
+        prev = self._tier[touched]
+        newly_hot = touched[prev != _HOT]
+        if len(newly_hot) == 0:
+            return
+        promoted_from_warm = int((prev == _WARM).sum())
+        self._tier[newly_hot] = _HOT
+        if promoted_from_warm:
+            self._warm_ids = self._warm_ids[
+                self._tier[self._warm_ids] == _WARM]
+        self._hot_ids = np.concatenate([self._hot_ids, newly_hot])
+
+        overflow = len(self._hot_ids) - self.hot_capacity
+        if overflow > 0:
+            # Rows touched this very call are protected: demote among
+            # the rest first, and only spill into the touched set when
+            # the batch alone overfills the tier.
+            candidates = self._hot_ids[:-len(newly_hot)]
+            demote = select_lowest(candidates, self._score[candidates],
+                                   min(overflow, len(candidates)))
+            spill = overflow - len(demote)
+            if spill > 0:
+                demote = np.concatenate([
+                    demote,
+                    select_lowest(newly_hot, self._score[newly_hot],
+                                  spill)])
+            self._tier[demote] = _WARM
+            self._hot_ids = self._hot_ids[
+                self._tier[self._hot_ids] == _HOT]
+            self._admit_into_warm(demote)
+
+    def _admit_into_warm(self, rows):
+        """Place ``rows`` in the warm tier, evicting the lowest-score
+        residents to cold when over capacity."""
+        if self.warm_capacity == 0:
+            self._tier[rows] = _COLD
+            return
+        self._tier[rows] = _WARM
+        self._warm_ids = np.concatenate([self._warm_ids, rows])
+        overflow = len(self._warm_ids) - self.warm_capacity
+        if overflow > 0:
+            candidates = self._warm_ids[:-len(rows)]
+            evict = select_lowest(candidates, self._score[candidates],
+                                  min(overflow, len(candidates)))
+            spill = overflow - len(evict)
+            if spill > 0:
+                evict = np.concatenate([
+                    evict, select_lowest(rows, self._score[rows], spill)])
+            self._tier[evict] = _COLD
+            self._warm_ids = self._warm_ids[
+                self._tier[self._warm_ids] == _WARM]
+
+    # ------------------------------------------------------------------
+    # Cost charging
+    # ------------------------------------------------------------------
+    def bill(self, lookup, row_bytes, spec):
+        """Extract-load-style :class:`TierBill` for one lookup.
+
+        Hot rows are free (already device-resident).  Warm rows pay the
+        pinned-host read plus their PCIe share; cold rows pay the disk
+        fetch, the pageable gather, and their PCIe share.  The PCIe
+        DMA's cost over all moved rows is split between the tiers in
+        proportion to bytes.
+        """
+        hot_bytes = lookup.num_hot * row_bytes
+        warm_bytes = lookup.num_warm * row_bytes
+        cold_bytes = lookup.num_cold * row_bytes
+        moved = warm_bytes + cold_bytes
+        pcie = spec.pcie_time(moved) if moved else 0.0
+        warm_share = pcie * warm_bytes / moved if moved else 0.0
+        cold_share = pcie - warm_share if moved else 0.0
+        warm_seconds = spec.host_cache_time(warm_bytes) + warm_share \
+            if warm_bytes else 0.0
+        cold_seconds = (spec.disk_time(cold_bytes)
+                        + spec.gather_time(cold_bytes) + cold_share) \
+            if cold_bytes else 0.0
+        return TierBill(hot_seconds=0.0, warm_seconds=warm_seconds,
+                        cold_seconds=cold_seconds, hot_bytes=hot_bytes,
+                        warm_bytes=warm_bytes, cold_bytes=cold_bytes)
+
+    def fetch_seconds(self, vertices, row_bytes, spec):
+        """Convenience: lookup + bill in one call; returns
+        ``(total_seconds, TierBill)``."""
+        bill = self.bill(self.lookup(vertices), row_bytes, spec)
+        return bill.total_seconds, bill
+
+
+def make_tiered_cache(policy, graph, hot_ratio, warm_ratio,
+                      sampler=None, seeds=None, rng=None, scores=None):
+    """Build a :class:`TieredCache` for one worker or serving node.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`TIER_POLICIES`.
+    graph:
+        A CSR graph (for ``num_vertices`` and degree scores) or a bare
+        row-universe size (the serving layer caches embedding-table
+        rows, which have no graph behind them).
+    hot_ratio, warm_ratio:
+        Tier budgets as fractions of the row universe.
+    sampler, seeds, rng:
+        Pre-sampling configuration (``policy="presample"`` only).
+    scores:
+        Caller-supplied placement score (``policy="static"``, e.g.
+        measured request frequencies on the serving side).
+    """
+    bare = isinstance(graph, (int, np.integer))
+    num_vertices = int(graph) if bare else graph.num_vertices
+    for name, ratio in (("hot_ratio", hot_ratio),
+                        ("warm_ratio", warm_ratio)):
+        if not 0.0 <= ratio <= 1.0:
+            raise TransferError(f"{name} must be in [0, 1], got {ratio}")
+    if hot_ratio + warm_ratio > 1.0:
+        raise TransferError(
+            f"hot_ratio + warm_ratio must be <= 1, got "
+            f"{hot_ratio + warm_ratio}")
+    hot = int(round(num_vertices * hot_ratio))
+    warm = int(round(num_vertices * warm_ratio))
+    warm = min(warm, num_vertices - hot)
+
+    key = policy.lower() if isinstance(policy, str) else policy
+    if key in DYNAMIC_TIER_POLICIES:
+        return TieredCache(num_vertices, hot, warm, policy=key)
+    if key == "degree":
+        if bare:
+            raise TransferError(
+                "degree tier policy needs a graph, not a row count")
+        scores = graph.out_degrees.astype(np.float64)
+    elif key == "presample":
+        if scores is None:
+            if bare or sampler is None or seeds is None:
+                raise TransferError(
+                    "presample tier policy needs sampler and seeds "
+                    "(or a precomputed score array)")
+            rng = rng if rng is not None else np.random.default_rng(0)
+            scores = presample_frequencies(
+                graph, sampler, seeds, rng).astype(np.float64)
+    elif key == "static":
+        if scores is None:
+            raise TransferError("static tier policy needs a score array")
+    else:
+        raise TransferError(
+            f"unknown tier policy {policy!r}; known: {TIER_POLICIES}")
+    return TieredCache(num_vertices, hot, warm, policy=key,
+                       scores=scores)
