@@ -1,6 +1,6 @@
 # Developer entry points. `make help` lists targets.
 
-.PHONY: help install test lint bench serve-bench cache-bench chaos examples docs reproduce clean
+.PHONY: help install test lint bench serve-bench fleet-bench cache-bench chaos examples docs reproduce clean
 
 help:
 	@echo "install     editable install (falls back past missing wheel pkg)"
@@ -8,6 +8,7 @@ help:
 	@echo "lint        determinism & numerics static analysis (repro lint)"
 	@echo "bench       run every table/figure benchmark (includes serving)"
 	@echo "serve-bench run the online-serving latency benchmark alone"
+	@echo "fleet-bench run the sharded multi-replica serving benchmark"
 	@echo "cache-bench run the tiered feature-cache benchmark alone"
 	@echo "chaos       run the fault-recovery benchmark alone"
 	@echo "examples    run all runnable examples"
@@ -42,6 +43,12 @@ bench:
 serve-bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 	  python benchmarks/bench_serve_latency.py --sanitize
+
+# Sharded multi-replica serving: scaling/locality/elasticity sweeps
+# plus the fleet == single-server bit-match check.
+fleet-bench:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+	  python benchmarks/bench_fleet.py --sanitize
 
 # Tiered-cache sweep (policy x budget x Zipf skew, training + serving
 # billing modes). No sanitizer flag: the sweep never runs a model.

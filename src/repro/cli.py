@@ -17,6 +17,10 @@ Commands
     Run the online-inference serving benchmark (latency/throughput
     across micro-batching policies and cache ratios; see
     :mod:`repro.serve`).
+``fleet-bench``
+    Run the sharded multi-replica serving benchmark (latency vs
+    replica count, routing locality per partitioner, autoscaling and
+    crash failover; see :mod:`repro.fleet`).
 ``chaos``
     Run the fault-recovery benchmark (injected stragglers, flaky
     fetches, crashes; checkpoint/resume bit-match; see
@@ -200,6 +204,61 @@ def build_parser():
                        help="arm the runtime sanitizers for the "
                             "benchmark run")
     serve.add_argument("--out", default="BENCH_serve.json")
+
+    fleet = sub.add_parser(
+        "fleet-bench",
+        help="run the sharded multi-replica serving benchmark")
+    fleet.add_argument("dataset", nargs="?", default="ogb-arxiv",
+                       choices=dataset_names())
+    fleet.add_argument("--scale", type=float, default=0.3)
+    fleet.add_argument("--model", default="gcn",
+                       choices=["gcn", "graphsage"])
+    fleet.add_argument("--train-epochs", type=_positive_int, default=2)
+    fleet.add_argument("--fanout", type=int, nargs="+",
+                       default=[10, 10])
+    fleet.add_argument("--rate-multiplier", type=float, default=100.0,
+                       help="arrival rate as a multiple of the "
+                            "single-server benchmark's 2000/s base "
+                            "(>= 1)")
+    fleet.add_argument("--requests", type=_positive_int, default=2000)
+    fleet.add_argument("--skew", type=float, default=0.8,
+                       help="query popularity skew (0 = uniform)")
+    fleet.add_argument("--replicas", type=_positive_int, nargs="+",
+                       default=[1, 2, 4, 8], metavar="N",
+                       help="replica counts swept (each N partitions "
+                            "the graph into N shards)")
+    fleet.add_argument("--partitioner", default="metis-v",
+                       choices=["hash", "metis-v", "metis-ve",
+                                "metis-vet"],
+                       help="partitioner for the scaling sweep")
+    fleet.add_argument("--locality-partitioners", nargs="+",
+                       default=["hash", "metis-v", "metis-ve",
+                                "metis-vet"],
+                       choices=["hash", "metis-v", "metis-ve",
+                                "metis-vet"],
+                       help="partitioners compared in the routing-"
+                            "locality sweep")
+    fleet.add_argument("--batch-size", type=_positive_int, default=16)
+    fleet.add_argument("--max-wait-ms", type=float, default=0.5,
+                       help="micro-batch flush deadline in "
+                            "milliseconds (>= 0)")
+    fleet.add_argument("--cache-ratio", type=_unit_interval,
+                       default=0.1, help="per-replica GPU-hot budget")
+    fleet.add_argument("--warm-ratio", type=_unit_interval,
+                       default=0.1,
+                       help="per-replica pinned-host-warm budget")
+    fleet.add_argument("--spill-threshold", type=_positive_int,
+                       default=64,
+                       help="owner queue depth that triggers "
+                            "spillover routing")
+    fleet.add_argument("--max-queue", type=_positive_int, default=512)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--quick", action="store_true",
+                       help="small smoke-test preset")
+    fleet.add_argument("--sanitize", action="store_true",
+                       help="arm the runtime sanitizers for the "
+                            "benchmark run")
+    fleet.add_argument("--out", default="BENCH_fleet.json")
 
     chaos = sub.add_parser(
         "chaos",
@@ -452,6 +511,78 @@ def _cmd_serve_bench(args):
     return 0
 
 
+def _cmd_fleet_bench(args):
+    import json
+    from pathlib import Path
+
+    from .fleet import run_fleet_bench
+
+    if args.sanitize:
+        FLAGS.sanitize = True
+    if args.rate_multiplier < 1:
+        print(f"error: --rate-multiplier must be >= 1, got "
+              f"{args.rate_multiplier}", file=sys.stderr)
+        return 2
+    if args.max_wait_ms < 0:
+        print(f"error: --max-wait-ms must be >= 0, got "
+              f"{args.max_wait_ms}", file=sys.stderr)
+        return 2
+    if args.cache_ratio + args.warm_ratio > 1.0:
+        print(f"error: --cache-ratio + --warm-ratio must be <= 1, got "
+              f"{args.cache_ratio + args.warm_ratio}", file=sys.stderr)
+        return 2
+    report = run_fleet_bench(
+        dataset=args.dataset, scale=args.scale, model=args.model,
+        train_epochs=args.train_epochs, fanout=tuple(args.fanout),
+        rate_multiplier=args.rate_multiplier,
+        num_requests=args.requests, skew=args.skew, seed=args.seed,
+        replica_counts=tuple(args.replicas),
+        partitioner=args.partitioner,
+        locality_partitioners=tuple(args.locality_partitioners),
+        batch_size=args.batch_size,
+        max_wait=args.max_wait_ms / 1e3,
+        cache_ratio=args.cache_ratio, warm_ratio=args.warm_ratio,
+        spill_threshold=args.spill_threshold,
+        max_queue=args.max_queue, quick=args.quick)
+
+    rows = []
+    for result in report["scaling"]:
+        rows.append({
+            "replicas": result["num_replicas"],
+            "p50 (ms)": round(1e3 * result["latency_p50"], 3),
+            "p95 (ms)": round(1e3 * result["latency_p95"], 3),
+            "p99 (ms)": round(1e3 * result["latency_p99"], 3),
+            "req/s": round(result["throughput"], 1),
+            "locality": round(result["routing_locality"], 3),
+            "hot hit": round(result["hot_hit_rate"], 3),
+            "rejected": result["rejected"],
+        })
+    print(format_table(
+        rows, title=f"Fleet scaling ({report['dataset']}, "
+                    f"{report['partitioner']}, "
+                    f"rate={report['load']['rate']:g}/s)"))
+    rows = []
+    for result in report["locality"]:
+        rows.append({
+            "partitioner": result["partitioner"],
+            "mode": result["mode"],
+            "locality": round(result["routing_locality"], 3),
+            "remote rows": round(result["remote_row_fraction"], 3),
+            "p99 (ms)": round(1e3 * result["latency_p99"], 3),
+        })
+    print(format_table(rows, title="Routing locality"))
+    print(f"invariant (fleet == single server, bit-exact): "
+          f"{'ok' if report['invariant_exact_match'] else 'VIOLATED'}")
+    print(f"failover: {report['failover']['failovers']} failovers, "
+          f"{report['failover']['requeued']} requeued, "
+          f"{report['failover']['completed']} completed")
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2))
+    print(f"wrote {out} ({len(report['scaling'])} replica counts, "
+          f"{len(report['locality'])} locality rows)")
+    return 0 if report["invariant_exact_match"] else 1
+
+
 def _cmd_chaos(args):
     import json
     from pathlib import Path
@@ -539,7 +670,8 @@ def main(argv=None):
     handlers = {"datasets": _cmd_datasets, "systems": _cmd_systems,
                 "train": _cmd_train, "partition": _cmd_partition,
                 "advise": _cmd_advise, "reproduce": _cmd_reproduce,
-                "serve-bench": _cmd_serve_bench, "chaos": _cmd_chaos,
+                "serve-bench": _cmd_serve_bench,
+                "fleet-bench": _cmd_fleet_bench, "chaos": _cmd_chaos,
                 "lint": _cmd_lint}
     return handlers[args.command](args)
 

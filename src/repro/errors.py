@@ -60,6 +60,13 @@ class AdmissionError(ServingError):
     must be rejected (backpressure, §repro.serve.batcher)."""
 
 
+class FleetError(ServingError):
+    """Raised for invalid fleet configurations (``repro.fleet``): a
+    replica count that does not match the partition, an unroutable
+    request because every replica is down, or malformed routing/
+    autoscaling parameters."""
+
+
 class FaultError(ReproError):
     """Raised by the fault-injection subsystem (``repro.faults``) when a
     scheduled fault takes effect and cannot be absorbed: an injected

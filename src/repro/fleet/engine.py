@@ -1,0 +1,371 @@
+"""The sharded serving fleet: N replicas, one shard each, one router.
+
+:class:`FleetEngine` generalizes the single-server
+:class:`~repro.serve.engine.ServeEngine` queueing simulation to a
+multi-replica discrete-event loop:
+
+* each replica owns one shard of a :mod:`repro.partition` result and
+  runs its own :class:`~repro.serve.batcher.MicroBatcher` +
+  :class:`~repro.fleet.replica.ShardExecutor` (remote rows billed over
+  the network);
+* the :class:`~repro.fleet.router.Router` sends every request to the
+  owner of its seed vertex, spilling/failing over by penalized queue
+  depth;
+* optional queue-depth autoscaling
+  (:class:`~repro.fleet.router.Autoscaler`) and crash faults (queued
+  requests of a dead replica are re-routed after a
+  :class:`~repro.faults.RetryPolicy` detection timeout — the serving
+  reuse of the training stack's fault model).
+
+Everything runs on the simulated clock; the loop's event order —
+faults, then arrivals/re-submissions, then dispatches, at equal times
+— makes a 1-replica fleet reproduce ``ServeEngine``'s batch sequence
+exactly.  Answers in ``precomputed`` mode are row-wise
+(:meth:`~repro.serve.precompute.LayerwiseEmbeddings.rowwise_logits`)
+and therefore *bit-identical* to the single server's for the same
+trace, regardless of how routing re-batched the requests — the
+fleet-vs-single-server invariant the benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.config import make_partitioner
+from ..errors import FleetError, ServingError
+from ..faults.retry import RetryPolicy
+from ..partition.base import PartitionResult
+from ..perf import PERF, StageProfiler
+from ..serve.batcher import BatchPolicy
+from ..serve.executor import SERVE_MODES
+from ..serve.precompute import LayerwiseEmbeddings
+from ..transfer.hardware import DEFAULT_SPEC
+from ..transfer.tiered import TieredCache
+from .metrics import FleetReport, _latency_fields
+from .replica import ReplicaServer, ShardExecutor
+from .router import Autoscaler, Router
+from .shards import ShardMap
+
+__all__ = ["FleetEngine"]
+
+
+class FleetEngine:
+    """Multi-replica online inference over one partitioned graph.
+
+    Parameters
+    ----------
+    dataset, model:
+        As in :class:`~repro.serve.engine.ServeEngine`.
+    partition:
+        Either a :class:`~repro.partition.base.PartitionResult` (its
+        part count fixes the fleet size) or a partitioner name from
+        :func:`~repro.core.config.make_partitioner` ("hash",
+        "metis-v", ...), in which case ``num_replicas`` is required and
+        the partition is computed here.
+    num_replicas:
+        Fleet size; only needed (and then required) when ``partition``
+        is a name.
+    mode, policy, max_queue, fanout, cache_policy, cache_ratio,
+    warm_ratio, cache_scores, spec, seed, embeddings:
+        As in ``ServeEngine`` — applied per replica (each replica gets
+        its own cache with the same budgets; ``cache_ratio`` remains a
+        fraction of the *full* row universe).  A precomputed/full
+        embedding table is built once and shared by every replica.
+    routing:
+        A :class:`~repro.fleet.router.RoutingPolicy` (default:
+        owner-first, no spillover).
+    autoscale:
+        Optional :class:`~repro.fleet.router.AutoscalePolicy`; when
+        given, replicas beyond ``min_replicas`` start deactivated and
+        the queue-depth signal drives the active set.
+    crashes:
+        Crash-fault schedule: iterable of ``(time, replica_id,
+        down_seconds)`` triples.  A crashed replica's queued requests
+        are re-routed after ``retry.timeout`` simulated seconds (the
+        failure-detection delay) and it rejoins, empty-queued, at
+        ``time + down_seconds``.
+    retry:
+        The :class:`~repro.faults.RetryPolicy` whose ``timeout`` models
+        failure detection; default :class:`RetryPolicy()`.
+    """
+
+    def __init__(self, dataset, model, partition="metis-v",
+                 num_replicas=None, mode="precomputed", policy=None,
+                 max_queue=None, fanout=(10, 10), cache_policy="lru",
+                 cache_ratio=0.0, warm_ratio=0.0, cache_scores=None,
+                 spec=None, seed=0, embeddings=None, routing=None,
+                 autoscale=None, crashes=(), retry=None):
+        if mode not in SERVE_MODES:
+            raise ServingError(
+                f"unknown serve mode {mode!r}; known: {SERVE_MODES}")
+        if isinstance(partition, PartitionResult):
+            if num_replicas is not None \
+                    and num_replicas != partition.num_parts:
+                raise FleetError(
+                    f"num_replicas={num_replicas} but the partition "
+                    f"has {partition.num_parts} parts")
+        else:
+            if num_replicas is None:
+                raise FleetError(
+                    "num_replicas is required when partition is a "
+                    "method name")
+            partition = make_partitioner(partition).partition(
+                dataset.graph, num_replicas, split=dataset.split,
+                rng=np.random.default_rng(int(seed)))
+        self.dataset = dataset
+        self.model = model
+        self.mode = mode
+        self.policy = policy or BatchPolicy()
+        self.max_queue = max_queue
+        self.spec = spec or DEFAULT_SPEC
+        self.seed = int(seed)
+        self.shards = ShardMap(partition, dataset.graph)
+        self.num_replicas = self.shards.num_shards
+        self.routing = routing
+        self.autoscale = autoscale
+        self.retry = retry or RetryPolicy()
+        self.crashes = self._check_crashes(crashes)
+
+        # One offline table, shared: the fleet precomputes embeddings
+        # once and replicates them (they are read-only), so the offline
+        # cost is charged once, not per replica.
+        self.embeddings = embeddings
+        if mode != "sampled" and self.embeddings is None:
+            self.embeddings = LayerwiseEmbeddings(
+                model, dataset.graph, dataset.features)
+        self._executor_kwargs = dict(
+            mode=mode, fanout=fanout, cache_policy=cache_policy,
+            cache_ratio=cache_ratio, warm_ratio=warm_ratio,
+            cache_scores=cache_scores, spec=self.spec,
+            embeddings=self.embeddings)
+        self.replicas = []
+
+    def _check_crashes(self, crashes):
+        events = []
+        for event in crashes:
+            time, replica_id, down = event
+            if not 0 <= replica_id < self.num_replicas:
+                raise FleetError(
+                    f"crash fault names replica {replica_id}; the "
+                    f"fleet has {self.num_replicas}")
+            if time < 0 or down <= 0:
+                raise FleetError(
+                    f"crash fault needs time >= 0 and down_seconds > 0,"
+                    f" got {event}")
+            events.append((float(time), int(replica_id), float(down)))
+        return sorted(events)
+
+    def _build_replicas(self):
+        """Fresh replicas (cold caches, empty queues) for one run."""
+        self.replicas = [
+            ReplicaServer(
+                i, self.shards,
+                ShardExecutor(self.shards, i, self.dataset, self.model,
+                              **self._executor_kwargs),
+                policy=self.policy, max_queue=self.max_queue,
+                seed=self.seed)
+            for i in range(self.num_replicas)]
+        return self.replicas
+
+    # ------------------------------------------------------------------
+    # The simulated-time fleet loop
+    # ------------------------------------------------------------------
+    def run(self, requests):
+        """Serve a request trace (sorted by arrival); returns a
+        :class:`~repro.fleet.metrics.FleetReport`."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            return self._run(list(requests))
+        finally:
+            self.model.train() if was_training else self.model.eval()
+
+    def _run(self, requests):
+        if not requests:
+            raise ServingError("cannot serve an empty request trace")
+        replicas = self._build_replicas()
+        router = Router(self.shards, replicas, self.routing)
+        autoscaler = Autoscaler(self.autoscale, replicas) \
+            if self.autoscale is not None else None
+
+        # Fault timeline: crashes and their recoveries, one heap.
+        faults = []
+        for seq, (time, replica_id, down) in enumerate(self.crashes):
+            heapq.heappush(faults, (time, seq, "crash", replica_id,
+                                    down))
+        # Failover re-submissions: (due time, seq, request).
+        pending = []
+        pending_seq = len(self.crashes)
+
+        responses = []
+        rejected = 0
+        requeued = 0
+        clock = 0.0
+        i, n = 0, len(requests)
+        inf = float("inf")
+
+        def route_in(request):
+            nonlocal rejected
+            try:
+                replica, is_owner = router.route(request)
+            except FleetError:
+                # Every replica is down: open-loop load cannot wait
+                # for the cluster — the request is lost.
+                rejected += 1
+                return
+            if not replica.submit(request, is_owner):
+                rejected += 1
+
+        while True:
+            draining = i >= n and not pending
+            t_arrival = requests[i].arrival if i < n else inf
+            t_pending = pending[0][0] if pending else inf
+            t_fault = faults[0][0] if faults else inf
+            t_dispatch = inf
+            for replica in replicas:
+                t_r = replica.next_dispatch_time(draining)
+                if t_r is not None:
+                    t_dispatch = min(t_dispatch, t_r)
+            t = min(t_arrival, t_pending, t_fault, t_dispatch)
+            if t == inf:
+                break
+            clock = max(clock, t)
+
+            # 1. Faults due now: crash (drain + schedule failover and
+            # recovery) and recovery events.
+            while faults and faults[0][0] <= clock:
+                _, _, kind, replica_id, down = heapq.heappop(faults)
+                replica = replicas[replica_id]
+                if kind == "crash":
+                    if not replica.alive:
+                        continue
+                    orphans = replica.crash(clock, down)
+                    # The router notices the dead node only after the
+                    # retry policy's detection timeout; the orphaned
+                    # requests re-enter routing then.
+                    due = clock + self.retry.timeout
+                    for orphan in orphans:
+                        pending_seq += 1
+                        heapq.heappush(pending,
+                                       (due, pending_seq, orphan))
+                    requeued += len(orphans)
+                    heapq.heappush(faults, (clock + down, pending_seq,
+                                            "recover", replica_id, 0.0))
+                else:
+                    replica.recover(clock)
+
+            # 2. Arrivals and failover re-submissions due now, merged
+            # in time order (ties: original arrivals first).
+            while (i < n and requests[i].arrival <= clock) \
+                    or (pending and pending[0][0] <= clock):
+                take_arrival = i < n and requests[i].arrival <= clock \
+                    and (not pending
+                         or requests[i].arrival <= pending[0][0])
+                if take_arrival:
+                    request = requests[i]
+                    i += 1
+                else:
+                    _, _, request = heapq.heappop(pending)
+                route_in(request)
+                if autoscaler is not None:
+                    autoscaler.evaluate(clock)
+
+            # 3. Dispatches ready now: one batch per ready replica, in
+            # replica-id order.
+            draining = i >= n and not pending
+            for replica in replicas:
+                t_r = replica.next_dispatch_time(draining)
+                if t_r is not None and t_r <= clock:
+                    responses.extend(replica.dispatch(clock))
+                    PERF.count("fleet_batches")
+            if autoscaler is not None:
+                autoscaler.finalize_drains(clock)
+
+        PERF.count("fleet_requests", len(responses))
+        return self._report(n, responses, rejected, requeued, router,
+                            autoscaler, replicas)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, num_requests, responses, rejected, requeued,
+                router, autoscaler, replicas):
+        merged = StageProfiler()
+        for replica in replicas:
+            merged.merge(replica.metrics)
+
+        labels = self.dataset.labels
+        correct = sum(int(r.prediction == labels[r.request.vertex])
+                      for r in responses)
+        completed = len(responses)
+        duration = max(r.completion for r in responses) \
+            if responses else 0.0
+
+        zero_remote = sum(r.zero_remote_completed for r in replicas)
+        local_rows = sum(r.executor.local_rows for r in replicas)
+        remote_rows = sum(r.executor.remote_rows for r in replicas)
+        total_rows = local_rows + remote_rows
+
+        hits = {"hot": 0, "warm": 0, "flat": 0}
+        lookups = 0
+        tiered = False
+        for replica in replicas:
+            cache = replica.executor.cache
+            if isinstance(cache, TieredCache):
+                tiered = True
+                hits["hot"] += cache.hot_hits
+                hits["warm"] += cache.warm_hits
+                lookups += cache.requests
+            elif cache is not None:
+                hits["flat"] += cache.hits
+                lookups += cache.hits + cache.misses
+        if tiered:
+            hot_rate = hits["hot"] / lookups if lookups else 0.0
+            warm_rate = hits["warm"] / lookups if lookups else 0.0
+            hit_rate = hot_rate
+        else:
+            hot_rate = hit_rate = (hits["flat"] / lookups
+                                   if lookups else 0.0)
+            warm_rate = 0.0
+
+        precompute = replicas[0].executor.precompute_seconds \
+            if replicas else 0.0
+        active_max = autoscaler.active_max if autoscaler is not None \
+            else self.num_replicas
+        return FleetReport(
+            mode=self.mode,
+            policy=self.policy.describe(),
+            partitioner=self.shards.partition.method,
+            num_replicas=self.num_replicas,
+            num_requests=num_requests,
+            completed=completed,
+            rejected=rejected,
+            spillovers=router.spillovers,
+            failovers=router.failovers,
+            requeued=requeued,
+            duration_seconds=duration,
+            throughput=completed / duration if duration else 0.0,
+            **_latency_fields(merged.summary("latency")),
+            bp_seconds=sum(r.bp_seconds for r in replicas),
+            dt_seconds=sum(r.dt_seconds for r in replicas),
+            nn_seconds=sum(r.nn_seconds for r in replicas),
+            remote_seconds=sum(r.executor.remote_seconds
+                               for r in replicas),
+            precompute_seconds=precompute,
+            accuracy=correct / completed if completed else 0.0,
+            routing_locality=(zero_remote / completed
+                              if completed else 1.0),
+            remote_row_fraction=(remote_rows / total_rows
+                                 if total_rows else 0.0),
+            cache_hit_rate=hit_rate,
+            hot_hit_rate=hot_rate,
+            warm_hit_rate=warm_rate,
+            cache_policy=self._executor_kwargs["cache_policy"],
+            scale_events=list(autoscaler.events)
+            if autoscaler is not None else [],
+            replicas_active_max=active_max,
+            replicas=[r.report() for r in replicas],
+            responses=responses,
+        )

@@ -1,0 +1,232 @@
+"""Partition-aware request routing and queue-depth autoscaling.
+
+The router is the fleet's front door.  Its placement rule is the
+serving-side reading of the paper's partitioning findings: features
+live where the partitioner put them, so the cheapest node to answer a
+query about vertex ``v`` is the one owning ``v``'s shard — any other
+node pays remote fetches for every row the local cache cannot cover.
+The router therefore dispatches to the owner until the owner's queue
+says otherwise:
+
+* **owner-first** — the owning replica, whenever it is accepting and
+  its queue is below ``spill_threshold``;
+* **spillover** — otherwise the accepting replica minimizing
+  ``queue_depth + remote_penalty`` (the penalty prices the remote
+  fetches a non-owner will incur, in queue-slot units; the owner
+  itself competes without penalty, so a merely-busy owner usually
+  still wins);
+* **failover** — a dead/draining owner is just the spillover case with
+  the owner out of the candidate set; if *no* replica is accepting the
+  request is unroutable and the fleet engine counts it rejected.
+
+Autoscaling runs on the same queue-depth signal with hysteresis: scale
+up when the mean depth across active replicas crosses
+``high_watermark``, scale down below ``low_watermark``, never twice
+within ``cooldown`` simulated seconds.  Scale-down drains: the victim
+stops accepting, serves out its queue, then deactivates — its shard is
+served remotely by the survivors until load returns.  Shards are
+fixed; only the *active replica set* changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FleetError
+
+__all__ = ["RoutingPolicy", "Router", "AutoscalePolicy", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """The two routing knobs.
+
+    Attributes
+    ----------
+    spill_threshold:
+        Owner queue depth at which requests overflow to other replicas;
+        ``None`` disables spillover (strict owner routing — requests
+        wait however long the owner's queue is).
+    remote_penalty:
+        Cost, in queue-depth units, a non-owner replica is charged when
+        competing for a spilled request — the queueing-time equivalent
+        of the remote rows it would fetch.
+    """
+
+    spill_threshold: int | None = None
+    remote_penalty: float = 8.0
+
+    def __post_init__(self):
+        if self.spill_threshold is not None and self.spill_threshold < 1:
+            raise FleetError(
+                f"spill_threshold must be >= 1 or None, got "
+                f"{self.spill_threshold}")
+        if self.remote_penalty < 0:
+            raise FleetError(
+                f"remote_penalty must be >= 0, got "
+                f"{self.remote_penalty}")
+
+
+class Router:
+    """Stateless-per-request dispatcher over the fleet's replicas.
+
+    Parameters
+    ----------
+    shards:
+        The fleet's :class:`~repro.fleet.shards.ShardMap` (owner
+        queries).
+    replicas:
+        ``replicas[i]`` serves shard ``i``.
+    policy:
+        A :class:`RoutingPolicy`; default is owner-first with no
+        spillover.
+    """
+
+    def __init__(self, shards, replicas, policy=None):
+        if len(replicas) != shards.num_shards:
+            raise FleetError(
+                f"{len(replicas)} replicas for {shards.num_shards} "
+                f"shards; the fleet needs exactly one per shard")
+        self.shards = shards
+        self.replicas = list(replicas)
+        self.policy = policy or RoutingPolicy()
+        self.spillovers = 0
+        self.failovers = 0
+
+    def _cheapest(self, candidates, owner):
+        """The accepting replica minimizing penalized queue depth
+        (owner exempt from the penalty; ties break toward lower id)."""
+        penalty = self.policy.remote_penalty
+        return min(candidates,
+                   key=lambda r: (r.queue_depth
+                                  + (0.0 if r is owner else penalty),
+                                  r.replica_id))
+
+    def route(self, request):
+        """Pick ``(replica, is_owner)`` for one request.  Raises
+        :class:`~repro.errors.FleetError` when no replica is accepting
+        (every node crashed or drained away)."""
+        owner = self.replicas[self.shards.owner(request.vertex)]
+        candidates = [r for r in self.replicas if r.accepting]
+        if not candidates:
+            raise FleetError(
+                f"request {request.request_id} is unroutable: no "
+                f"replica is accepting")
+
+        if owner.accepting:
+            threshold = self.policy.spill_threshold
+            if threshold is None or owner.queue_depth < threshold:
+                return owner, True
+            chosen = self._cheapest(candidates, owner)
+            if chosen is not owner:
+                self.spillovers += 1
+            return chosen, chosen is owner
+
+        # Owner down or draining: failover to the cheapest survivor.
+        chosen = self._cheapest(candidates, owner)
+        self.failovers += 1
+        return chosen, False
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Queue-depth autoscaling with hysteresis.
+
+    Attributes
+    ----------
+    min_replicas:
+        Floor on the active replica set (also the initial size:
+        replicas ``min_replicas..k-1`` start deactivated).
+    high_watermark, low_watermark:
+        Mean queue depth (over active, alive replicas) above which the
+        fleet scales up / below which it scales down.  Keeping
+        ``high > low`` is the hysteresis band preventing flapping.
+    cooldown:
+        Minimum simulated seconds between scaling decisions.
+    """
+
+    min_replicas: int = 1
+    high_watermark: float = 24.0
+    low_watermark: float = 2.0
+    cooldown: float = 0.05
+
+    def __post_init__(self):
+        if self.min_replicas < 1:
+            raise FleetError(
+                f"min_replicas must be >= 1, got {self.min_replicas}")
+        if self.low_watermark < 0:
+            raise FleetError(
+                f"low_watermark must be >= 0, got {self.low_watermark}")
+        if self.high_watermark <= self.low_watermark:
+            raise FleetError(
+                f"high_watermark ({self.high_watermark}) must exceed "
+                f"low_watermark ({self.low_watermark})")
+        if self.cooldown < 0:
+            raise FleetError(
+                f"cooldown must be >= 0, got {self.cooldown}")
+
+
+class Autoscaler:
+    """Drives the active replica set from the queue-depth signal.
+
+    The fleet engine calls :meth:`evaluate` after admitting arrivals
+    and :meth:`finalize_drains` after dispatching, both with the
+    simulated clock.  Every decision lands in ``events`` as
+    ``(time, action, replica_id, mean_depth)`` for the report.
+    """
+
+    def __init__(self, policy, replicas):
+        self.policy = policy
+        self.replicas = list(replicas)
+        if policy.min_replicas > len(self.replicas):
+            raise FleetError(
+                f"min_replicas {policy.min_replicas} exceeds the "
+                f"fleet size {len(self.replicas)}")
+        for replica in self.replicas[policy.min_replicas:]:
+            replica.active = False
+        self.events = []
+        self._last_change = 0.0
+        self.active_max = policy.min_replicas
+
+    def _mean_depth(self, live):
+        return sum(r.queue_depth for r in live) / len(live)
+
+    def evaluate(self, clock):
+        """One scaling decision at simulated time ``clock`` (at most
+        one replica activated or marked draining per call)."""
+        live = [r for r in self.replicas
+                if r.alive and r.active and not r.draining]
+        if not live:
+            return
+        if clock - self._last_change < self.policy.cooldown:
+            return
+        depth = self._mean_depth(live)
+
+        if depth > self.policy.high_watermark:
+            for replica in self.replicas:
+                if replica.alive and not replica.active:
+                    replica.active = True
+                    replica.draining = False
+                    self._last_change = clock
+                    self.events.append(
+                        (clock, "up", replica.replica_id, depth))
+                    self.active_max = max(
+                        self.active_max,
+                        sum(1 for r in self.replicas if r.active))
+                    return
+        elif depth < self.policy.low_watermark \
+                and len(live) > self.policy.min_replicas:
+            victim = live[-1]  # highest id drains first
+            victim.draining = True
+            self._last_change = clock
+            self.events.append(
+                (clock, "drain", victim.replica_id, depth))
+
+    def finalize_drains(self, clock):
+        """Deactivate any draining replica whose queue has emptied."""
+        for replica in self.replicas:
+            if replica.draining and replica.queue_depth == 0:
+                replica.draining = False
+                replica.active = False
+                self.events.append(
+                    (clock, "down", replica.replica_id, 0.0))

@@ -1,0 +1,147 @@
+"""Shard-ownership and halo-set queries over a partition.
+
+A serving fleet assigns one graph shard per replica, produced by any
+:mod:`repro.partition` backend (hash, Metis-V/VE/VET, streaming).
+:class:`ShardMap` is the read side of that assignment: *who owns
+vertex v* (the router's per-request question), *which rows does shard
+p hold locally*, and *which foreign rows does shard p's L-hop
+neighborhood reach* — the **halo set**, the rows a replica must fetch
+from other shards (or replicate) to answer multi-hop queries about its
+own vertices.  This is the paper's §5 partitioning/communication model
+re-used as a *routing* cost model: a request routed to the owner of
+its seed touches remote rows only through the halo, so edge-cut
+quality translates directly into serving network traffic.
+
+Halos follow **in**-edges: a GNN layer aggregates a vertex's
+in-neighbors, so serving vertex ``v`` at depth L needs the in-L-hop
+neighborhood of ``v``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FleetError
+from ..partition.base import PartitionResult
+
+__all__ = ["ShardMap"]
+
+
+class ShardMap:
+    """Ownership/halo view of one :class:`PartitionResult`.
+
+    Parameters
+    ----------
+    partition:
+        The partition assigning every vertex an owning shard; shard ids
+        double as replica ids in the fleet.
+    graph:
+        The :class:`~repro.graph.csr.CSRGraph` being sharded (needed
+        for halo/neighborhood queries; ownership queries work without
+        touching it).
+    """
+
+    def __init__(self, partition, graph):
+        if not isinstance(partition, PartitionResult):
+            raise FleetError(
+                f"ShardMap needs a PartitionResult, got "
+                f"{type(partition).__name__}")
+        if graph.num_vertices != partition.num_vertices:
+            raise FleetError(
+                f"partition covers {partition.num_vertices} vertices "
+                f"but the graph has {graph.num_vertices}")
+        self.partition = partition
+        self.graph = graph
+        self.assignment = partition.assignment
+        self.num_shards = partition.num_parts
+        self._halos = {}
+
+    @property
+    def num_vertices(self):
+        return len(self.assignment)
+
+    def owner(self, vertices):
+        """Owning shard of ``vertices`` (scalar in, scalar out)."""
+        return self.partition.owner(vertices)
+
+    def shard_vertices(self, shard):
+        """Vertex ids owned by ``shard`` (sorted ascending)."""
+        self._check_shard(shard)
+        return self.partition.part_vertices(shard)
+
+    def shard_sizes(self):
+        """Owned-vertex counts per shard, ``int64 (k,)``."""
+        return self.partition.sizes()
+
+    def remote_mask(self, shard, vertices):
+        """Boolean array: is each vertex owned by a *different* shard
+        (so a replica serving ``shard`` must fetch it remotely unless a
+        cache holds it)?"""
+        self._check_shard(shard)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        return self.assignment[vertices] != shard
+
+    def split_local_remote(self, shard, vertices):
+        """Partition ``vertices`` into ``(local, remote)`` id arrays by
+        ownership on ``shard`` (order within each side preserved)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        remote = self.remote_mask(shard, vertices)
+        return vertices[~remote], vertices[remote]
+
+    def halo(self, shard, hops=1):
+        """Foreign vertex ids within ``hops`` in-edge steps of
+        ``shard``'s owned set (sorted ascending; never includes owned
+        vertices).  Memoized per ``(shard, hops)``: the fleet asks for
+        every batch, the BFS runs once."""
+        self._check_shard(shard)
+        if hops < 0:
+            raise FleetError(f"hops must be >= 0, got {hops}")
+        key = (int(shard), int(hops))
+        if key not in self._halos:
+            self._halos[key] = self._compute_halo(shard, hops)
+        return self._halos[key]
+
+    def _compute_halo(self, shard, hops):
+        in_indptr, in_indices = self.graph.in_csr()
+        reached = self.assignment == shard
+        owned = reached.copy()
+        frontier = np.flatnonzero(reached)
+        for _ in range(hops):
+            if len(frontier) == 0:
+                break
+            counts = in_indptr[frontier + 1] - in_indptr[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # Gather the concatenated in-neighbor lists of the
+            # frontier: element j of the output, falling in frontier
+            # group g at within-group offset o, reads
+            # in_indices[starts[g] + o].
+            starts = in_indptr[frontier]
+            group_base = np.concatenate(
+                [[0], np.cumsum(counts)[:-1]])
+            offsets = (np.repeat(starts - group_base, counts)
+                       + np.arange(total, dtype=np.int64))
+            neighbors = in_indices[offsets]
+            new = np.unique(neighbors[~reached[neighbors]])
+            reached[new] = True
+            frontier = new
+        return np.flatnonzero(reached & ~owned)
+
+    def locality(self, shard, vertices):
+        """Fraction of ``vertices`` owned by ``shard`` (1.0 for an
+        empty query — nothing had to move)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if len(vertices) == 0:
+            return 1.0
+        return float((~self.remote_mask(shard, vertices)).mean())
+
+    def _check_shard(self, shard):
+        if not 0 <= shard < self.num_shards:
+            raise FleetError(
+                f"shard {shard} out of range [0, {self.num_shards})")
+
+    def __repr__(self):
+        return (f"ShardMap(shards={self.num_shards}, "
+                f"vertices={self.num_vertices}, "
+                f"method={self.partition.method!r})")

@@ -77,6 +77,14 @@ class PartitionResult:
         """Vertex ids owned by partition ``part``."""
         return np.flatnonzero(self.assignment == part)
 
+    def owner(self, vertices):
+        """Owning partition of ``vertices`` — a scalar for a scalar id,
+        an ``int64`` array for an array (the shard-ownership query the
+        serving fleet's router answers per request)."""
+        if np.isscalar(vertices) or getattr(vertices, "ndim", 1) == 0:
+            return int(self.assignment[int(vertices)])
+        return self.assignment[np.asarray(vertices, dtype=np.int64)]
+
     def sizes(self):
         """Vertices owned per partition as an ``int64 (k,)`` array."""
         return np.bincount(self.assignment, minlength=self.num_parts)

@@ -35,14 +35,26 @@ def wall_clock():
     return time.perf_counter()
 
 
-def percentile(values, q):
+#: Sentinel distinguishing "no default supplied" from ``default=None``.
+_RAISE = object()
+
+
+def percentile(values, q, default=_RAISE):
     """The ``q``-th percentile of ``values`` with linear interpolation
     between closest ranks (the same definition as
     ``numpy.percentile(..., method="linear")``), implemented directly so
     the serving metrics do not round-trip observation lists through
     numpy for every report.
+
+    ``values`` may be empty only when ``default`` is supplied: the
+    default is returned instead of raising.  Report builders that must
+    render zero-traffic entities (a fleet replica that received no
+    requests) pass ``default=None`` so their latency fields serialize
+    as JSON ``null`` rather than a fabricated number.
     """
     if not values:
+        if default is not _RAISE:
+            return default
         raise ValueError("percentile of an empty observation list")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
@@ -101,13 +113,30 @@ class StageProfiler:
         self.observations.setdefault(name, []).append(float(value))
         self.count(name + "_observed")
 
-    def percentile(self, name, q):
+    def percentile(self, name, q, default=_RAISE):
         """The ``q``-th percentile of distribution ``name`` (linear
         interpolation); raises :class:`KeyError` for an unobserved
-        name."""
+        name unless ``default`` is supplied (zero-traffic entities then
+        report the default instead of raising)."""
         if name not in self.observations:
+            if default is not _RAISE:
+                return default
             raise KeyError(f"no observations recorded under {name!r}")
-        return percentile(self.observations[name], q)
+        return percentile(self.observations[name], q, default=default)
+
+    def merge(self, other):
+        """Fold another profiler's counters, timers, and observations
+        into this one (observation lists are concatenated in ``other``'s
+        recording order).  The fleet report builder uses this to
+        aggregate per-replica histograms into one fleet-wide
+        distribution without re-observing every measurement."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + value
+        for name, values in other.observations.items():
+            self.observations.setdefault(name, []).extend(values)
+        return self
 
     def summary(self, name):
         """count/mean/p50/p95/p99/max digest of distribution ``name``,

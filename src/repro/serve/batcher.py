@@ -117,6 +117,15 @@ class MicroBatcher:
             return True
         return now >= self.oldest_deadline()
 
+    def drain(self):
+        """Remove and return every queued request, FIFO order.  Used by
+        the fleet's crash failover: a dead replica's queue is handed
+        back to the router for re-routing (the requests were admitted
+        but never served, so they do not count as rejected here)."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
     def take(self):
         """Pop the next batch (up to ``max_batch_size`` requests, FIFO
         order).  Raises :class:`ServingError` on an empty queue."""

@@ -1,10 +1,14 @@
 """The online inference engine: a single simulated serving node.
 
 Ties the layer together: an admission queue + micro-batcher
-(:mod:`repro.serve.batcher`) feeds one of three execution modes, and
-every byte/edge/FLOP a batch touches is converted to simulated seconds
-through the same :class:`~repro.transfer.hardware.HardwareSpec` cost
-model the training engines use.
+(:mod:`repro.serve.batcher`) feeds a :class:`~repro.serve.executor.
+BatchExecutor`, and every byte/edge/FLOP a batch touches is converted
+to simulated seconds through the same
+:class:`~repro.transfer.hardware.HardwareSpec` cost model the training
+engines use.  The executor is a separate layer on purpose: the fleet
+tier (:mod:`repro.fleet`) runs one executor per graph shard behind a
+partition-aware router, while this engine is the single-server
+baseline the fleet must bit-match.
 
 Execution modes
 ---------------
@@ -23,7 +27,9 @@ Execution modes
 ``precomputed``
     Layer-wise precomputed embeddings: serving is an embedding-table
     lookup (through an LRU *historical-embedding cache*) plus the MLP
-    head.  Bit-identical to ``full`` by construction.
+    head, evaluated row-wise so each answer is a pure function of the
+    queried vertex (batching-invariant — see
+    :meth:`~repro.serve.precompute.LayerwiseEmbeddings.rowwise_logits`).
 
 The event loop is deterministic: simulated arrivals come from a seeded
 :class:`~repro.serve.requests.LoadGenerator` trace, sampling uses one
@@ -43,30 +49,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import AdmissionError, ServingError, TransferError
+from ..errors import AdmissionError, ServingError
 from ..perf import PERF, StageProfiler
-from ..sampling import NeighborSampler
-from ..transfer.cache import DegreeCache, LRUCache
-from ..transfer.hardware import DEFAULT_SPEC, estimate_flops
-from ..transfer.tiered import TieredCache, make_tiered_cache
+from ..transfer.hardware import DEFAULT_SPEC
+from ..transfer.tiered import TieredCache
 from .batcher import BatchPolicy, MicroBatcher
+from .executor import SERVE_MODES, BatchExecutor
 from .metrics import ServeReport
-from .precompute import LayerwiseEmbeddings
 from .requests import InferenceResponse
 
 __all__ = ["ServeEngine", "SERVE_MODES"]
-
-SERVE_MODES = ("sampled", "full", "precomputed")
-
-
-def _model_hidden_dim(model):
-    """Output width of the model's conv stack (for FLOP estimates)."""
-    conv = model.convs[-1]
-    for attr in ("weight", "weight_self"):
-        weight = getattr(conv, attr, None)
-        if weight is not None:
-            return weight.data.shape[1]
-    return 128
 
 
 class ServeEngine:
@@ -127,9 +119,6 @@ class ServeEngine:
                  cache_ratio=0.0, warm_ratio=0.0, cache_scores=None,
                  spec=None, seed=0, embeddings=None, deadline=None,
                  fallback=False):
-        if mode not in SERVE_MODES:
-            raise ServingError(
-                f"unknown serve mode {mode!r}; known: {SERVE_MODES}")
         if deadline is not None and deadline <= 0:
             raise ServingError(
                 f"deadline must be positive, got {deadline}")
@@ -148,154 +137,48 @@ class ServeEngine:
         self.max_queue = max_queue
         self.spec = spec or DEFAULT_SPEC
         self.seed = int(seed)
-        self.cache_ratio = float(cache_ratio)
-        self.warm_ratio = float(warm_ratio)
-        if self.warm_ratio < 0:
-            raise ServingError(
-                f"warm_ratio must be non-negative, got {warm_ratio}")
-        self.cache_policy = cache_policy
-        self.cache_scores = cache_scores
-        self.hidden_dim = _model_hidden_dim(model)
-        self._feat_bytes = (dataset.feature_dim
-                            * dataset.features.itemsize)
-
         self.deadline = None if deadline is None else float(deadline)
         self.fallback = bool(fallback)
+        self.executor = BatchExecutor(
+            dataset, model, mode=mode, fanout=fanout,
+            cache_policy=cache_policy, cache_ratio=cache_ratio,
+            warm_ratio=warm_ratio, cache_scores=cache_scores,
+            spec=self.spec, embeddings=embeddings,
+            need_embeddings=self.fallback)
 
-        self.sampler = None
-        self.embeddings = None
-        self.precompute_seconds = 0.0
-        if mode == "sampled":
-            self.sampler = NeighborSampler(fanout)
-            if self.fallback:
-                self.embeddings = embeddings if embeddings is not None \
-                    else LayerwiseEmbeddings(model, dataset.graph,
-                                             dataset.features)
-                self.precompute_seconds = self._precompute_cost()
-        else:
-            self.embeddings = embeddings if embeddings is not None else \
-                LayerwiseEmbeddings(model, dataset.graph,
-                                    dataset.features)
-            # Offline pass cost, reported separately from latency: one
-            # full feature transfer plus the per-layer full-graph
-            # forward.
-            self.precompute_seconds = self._precompute_cost()
+    # Back-compatible views onto the execution layer (the pre-fleet
+    # engine owned these directly; tests and callers still read them).
+    @property
+    def sampler(self):
+        return self.executor.sampler
 
-        self.cache = self._build_cache()
-        self._tier_seconds = {"hot": 0.0, "warm": 0.0, "cold": 0.0}
+    @property
+    def embeddings(self):
+        return self.executor.embeddings
 
-    def _precompute_cost(self):
-        """Simulated cost of the one-off offline embedding pass."""
-        table_bytes = self.dataset.feature_bytes()
-        return (self.spec.gather_time(table_bytes)
-                + self.spec.pcie_time(table_bytes)
-                + self.spec.compute_time(self.embeddings.build_flops))
+    @property
+    def cache(self):
+        return self.executor.cache
 
-    def _build_cache(self):
-        if self.cache_ratio <= 0 and self.warm_ratio <= 0:
-            return None
-        if self.warm_ratio > 0 or self.cache_policy == "lfu":
-            # Multi-tier cache over the disk-backed hierarchy — the
-            # same TieredCache the training workers use, here caching
-            # feature rows (sampled/full) or embedding-table rows
-            # (precomputed; row ids are vertex ids, so graph-degree
-            # placement stays meaningful).
-            try:
-                return make_tiered_cache(
-                    self.cache_policy, self.dataset.graph,
-                    self.cache_ratio, self.warm_ratio,
-                    scores=self.cache_scores)
-            except TransferError as exc:
-                raise ServingError(str(exc)) from exc
-        if self.mode == "precomputed":
-            # Historical-embedding cache: LRU over table rows.
-            return LRUCache(self.embeddings.num_vertices,
-                            self.cache_ratio)
-        if self.cache_policy == "degree":
-            return DegreeCache(self.dataset.graph, self.cache_ratio)
-        if self.cache_policy == "lru":
-            return LRUCache(self.dataset.graph, self.cache_ratio)
-        raise ServingError(
-            f"unknown serving cache policy {self.cache_policy!r}; "
-            f"known: lru, degree (flat) and lru, lfu, degree, "
-            f"presample, static (tiered, warm_ratio > 0)")
+    @property
+    def cache_ratio(self):
+        return self.executor.cache_ratio
 
-    # ------------------------------------------------------------------
-    # Per-batch execution
-    # ------------------------------------------------------------------
-    def _fetch_seconds(self, row_ids, row_bytes):
-        """Simulated time to materialize ``row_ids`` on the GPU through
-        the cache (hits are resident; misses cross host + PCIe; with a
-        tiered cache each tier is billed its own path and the split is
-        accumulated for the report)."""
-        if isinstance(self.cache, TieredCache):
-            seconds, bill = self.cache.fetch_seconds(
-                row_ids, row_bytes, self.spec)
-            for tier, value in sorted(bill.tier_seconds().items()):
-                self._tier_seconds[tier] += value
-            return seconds
-        if self.cache is not None:
-            _hits, misses = self.cache.lookup(row_ids)
-        else:
-            misses = row_ids
-        num_bytes = len(misses) * row_bytes
-        if num_bytes == 0:
-            return 0.0
-        return (self.spec.gather_time(num_bytes)
-                + self.spec.pcie_time(num_bytes))
+    @property
+    def warm_ratio(self):
+        return self.executor.warm_ratio
 
-    def _execute(self, vertices, rng):
-        """Run one micro-batch; returns ``(predictions, bp, dt, nn)``
-        — per-request predictions plus the simulated seconds of each
-        serving stage (batch preparation / data transfer / NN)."""
-        if self.mode == "sampled":
-            subgraph = self.sampler.sample(self.dataset.graph, vertices,
-                                           rng)
-            logits = self.model.forward(
-                subgraph,
-                self.dataset.features[subgraph.input_nodes]).data
-            rows = np.searchsorted(subgraph.seeds, vertices)
-            predictions = logits.argmax(axis=-1)[rows]
-            bp = self.spec.sample_time(subgraph.total_edges)
-            dt = self._fetch_seconds(subgraph.input_nodes,
-                                     self._feat_bytes)
-            nn = self.spec.compute_time(estimate_flops(
-                subgraph, self.dataset.feature_dim, self.hidden_dim,
-                self.dataset.num_classes, backward_factor=1.0))
-            return predictions, bp, dt, nn
+    @property
+    def cache_policy(self):
+        return self.executor.cache_policy
 
-        if self.mode == "full":
-            logits, stats = self.embeddings.ondemand_logits(vertices)
-            predictions = logits.argmax(axis=-1)
-            bp = self.spec.sample_time(stats.edges)
-            dt = self._fetch_seconds(stats.input_ids, self._feat_bytes)
-            nn = self.spec.compute_time(stats.flops)
-            return predictions, bp, dt, nn
+    @property
+    def hidden_dim(self):
+        return self.executor.hidden_dim
 
-        # precomputed: table lookup through the embedding cache + head.
-        logits = self.embeddings.logits(vertices)
-        predictions = logits.argmax(axis=-1)
-        row_bytes = (self.embeddings.table.shape[1]
-                     * self.embeddings.table.itemsize)
-        dt = self._fetch_seconds(np.unique(vertices), row_bytes)
-        nn = self.spec.compute_time(
-            self.embeddings.head_flops(len(vertices)))
-        return predictions, 0.0, dt, nn
-
-    def _execute_degraded(self, vertices):
-        """Degraded-mode batch: answer from the precomputed table
-        instead of sampling (no feature cache involved — the fallback
-        table rows are fetched directly)."""
-        logits = self.embeddings.logits(vertices)
-        predictions = logits.argmax(axis=-1)
-        row_bytes = (self.embeddings.table.shape[1]
-                     * self.embeddings.table.itemsize)
-        num_bytes = len(np.unique(vertices)) * row_bytes
-        dt = (self.spec.gather_time(num_bytes)
-              + self.spec.pcie_time(num_bytes)) if num_bytes else 0.0
-        nn = self.spec.compute_time(
-            self.embeddings.head_flops(len(vertices)))
-        return predictions, 0.0, dt, nn
+    @property
+    def precompute_seconds(self):
+        return self.executor.precompute_seconds
 
     # ------------------------------------------------------------------
     # The simulated-time serving loop
@@ -323,7 +206,7 @@ class ServeEngine:
             raise ServingError("cannot serve an empty request trace")
         batcher = MicroBatcher(self.policy, self.max_queue)
         metrics = StageProfiler()
-        self._tier_seconds = {"hot": 0.0, "warm": 0.0, "cold": 0.0}
+        self.executor.reset_counters()
         rng = np.random.default_rng(self.seed)
         labels = self.dataset.labels
 
@@ -379,10 +262,12 @@ class ServeEngine:
             vertices = np.array([r.vertex for r in batch],
                                 dtype=np.int64)
             if degrade:
-                predictions, bp, dt, nn = self._execute_degraded(vertices)
+                predictions, bp, dt, nn = \
+                    self.executor.execute_degraded(vertices)
                 degraded_count += len(batch)
             else:
-                predictions, bp, dt, nn = self._execute(vertices, rng)
+                predictions, bp, dt, nn = self.executor.execute(
+                    vertices, rng)
                 if self.mode == "sampled":
                     service = bp + dt + nn
                     service_estimate = service \
@@ -449,6 +334,7 @@ class ServeEngine:
             warm_ratio=self.warm_ratio,
             hot_hit_rate=(self.cache.hot_hit_rate if tiered else 0.0),
             warm_hit_rate=(self.cache.warm_hit_rate if tiered else 0.0),
-            tier_seconds=(dict(self._tier_seconds) if tiered else {}),
+            tier_seconds=(dict(self.executor.tier_seconds)
+                          if tiered else {}),
             responses=responses,
         )

@@ -203,6 +203,26 @@ class LayerwiseEmbeddings:
         vertices = np.asarray(vertices, dtype=np.int64)
         return self._head_logits(self.table[vertices])
 
+    def rowwise_logits(self, vertices):
+        """Precomputed-mode logits, one row at a time.
+
+        BLAS dispatches different kernels for ``(1, d)`` and ``(m, d)``
+        operands, so the *bits* of a row's logits through
+        :meth:`logits` can depend on the size of the batch it rode in.
+        Serving answers must instead be a pure function of the queried
+        vertex — the property that lets a sharded fleet re-batch,
+        spill, and fail over requests while remaining bit-identical to
+        a single server.  This method pins one shape: every row is
+        evaluated as its own ``(1, d)`` head pass, so identical
+        vertices produce identical bits under any batching.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if len(vertices) == 0:
+            raise ServingError("cannot serve an empty query batch")
+        return np.concatenate(
+            [self._head_logits(self.table[v:v + 1])
+             for v in vertices], axis=0)
+
     def ondemand_logits(self, vertices):
         """Exact full-fanout on-demand logits plus metered cost.
 

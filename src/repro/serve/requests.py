@@ -50,7 +50,9 @@ class InferenceResponse:
     latency: queueing delay + batching delay + service time of the
     micro-batch it rode in.  ``degraded`` marks answers served by the
     precomputed-embedding fallback because the sampled path would have
-    missed the request's deadline (see ``ServeEngine``).
+    missed the request's deadline (see ``ServeEngine``).  ``replica``
+    identifies the fleet replica that served the answer (always 0 on a
+    single-server :class:`~repro.serve.engine.ServeEngine`).
     """
 
     request: InferenceRequest
@@ -59,6 +61,7 @@ class InferenceResponse:
     batch_id: int
     batch_size: int
     degraded: bool = False
+    replica: int = 0
 
     @property
     def latency(self):

@@ -1,0 +1,218 @@
+"""ShardExecutor billing (local/remote split, single-shard reduction)
+and the ReplicaServer queueing shell."""
+
+import numpy as np
+import pytest
+
+from repro import load_dataset
+from repro.core import make_partitioner
+from repro.errors import FleetError
+from repro.fleet import ReplicaServer, ShardExecutor, ShardMap
+from repro.fleet.metrics import ReplicaReport
+from repro.nn import build_model
+from repro.serve import BatchPolicy
+from repro.serve.executor import BatchExecutor
+from repro.serve.requests import InferenceRequest
+from repro.transfer.hardware import DEFAULT_SPEC
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset("ogb-arxiv", scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def model(data):
+    return build_model("gcn", data.feature_dim, data.num_classes,
+                       rng=np.random.default_rng(7))
+
+
+def make_shards(data, parts, name="metis-v"):
+    part = make_partitioner(name).partition(
+        data.graph, parts, split=data.split,
+        rng=np.random.default_rng(0))
+    return ShardMap(part, data.graph)
+
+
+class TestSingleShardReduction:
+    """With one shard everything is local: the shard executor must
+    charge *bit-identical* seconds to the base executor."""
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(cache_policy="lfu", cache_ratio=0.1, warm_ratio=0.1),
+        dict(cache_policy="lru", cache_ratio=0.2),
+        dict(cache_ratio=0.0),
+    ])
+    def test_precomputed_billing_reduces(self, data, model, kwargs):
+        shards = make_shards(data, 1, name="hash")
+        base = BatchExecutor(data, model, mode="precomputed", **kwargs)
+        sharded = ShardExecutor(shards, 0, data, model,
+                                mode="precomputed",
+                                embeddings=base.embeddings, **kwargs)
+        rng = np.random.default_rng(0)
+        vertices = rng.choice(data.test_ids, size=48)
+        for batch in np.split(vertices, 3):
+            want = base.execute(batch, np.random.default_rng(1))
+            got = sharded.execute(batch, np.random.default_rng(1))
+            assert np.array_equal(want[0], got[0])
+            assert want[1:] == got[1:]       # bp/dt/nn, bit-exact
+        assert sharded.remote_rows == 0
+        assert sharded.remote_seconds == 0.0
+        assert sharded.local_rows > 0
+
+    def test_sampled_flat_billing_reduces(self, data, model):
+        shards = make_shards(data, 1, name="hash")
+        model.eval()   # engines do this in run(); we call execute raw
+        base = BatchExecutor(data, model, mode="sampled",
+                             cache_ratio=0.2)
+        sharded = ShardExecutor(shards, 0, data, model, mode="sampled",
+                                cache_ratio=0.2)
+        vertices = data.test_ids[:16]
+        want = base.execute(vertices, np.random.default_rng(5))
+        got = sharded.execute(vertices, np.random.default_rng(5))
+        assert np.array_equal(want[0], got[0])
+        assert want[1:] == got[1:]
+
+
+class TestRemoteBilling:
+    def test_remote_rows_cost_more_than_local(self, data, model):
+        """The same cold fetch priced remotely must cost at least the
+        network latency more than priced locally."""
+        shards = make_shards(data, 4)
+        executor = ShardExecutor(shards, 0, data, model,
+                                 mode="precomputed", cache_ratio=0.0)
+        local = shards.shard_vertices(0)[:8]
+        remote = shards.shard_vertices(1)[:8]
+        row_bytes = 256
+        local_cost = executor._bill_flat(local, row_bytes)
+        assert executor.last_remote_rows == 0
+        remote_cost = executor._bill_flat(remote, row_bytes)
+        assert executor.last_remote_rows == len(remote)
+        assert remote_cost > local_cost
+        assert remote_cost - local_cost \
+            >= DEFAULT_SPEC.network_latency * 0.99
+        assert executor.remote_rows == len(remote)
+        assert executor.remote_seconds > 0
+
+    def test_messages_scale_with_owner_count(self, data, model):
+        """Remote rows spread over three owner shards pay three
+        network messages; the same count from one shard pays one."""
+        shards = make_shards(data, 4)
+        executor = ShardExecutor(shards, 0, data, model,
+                                 mode="precomputed", cache_ratio=0.0)
+        one_owner = shards.shard_vertices(1)[:6]
+        three_owners = np.concatenate([
+            shards.shard_vertices(1)[:2],
+            shards.shard_vertices(2)[:2],
+            shards.shard_vertices(3)[:2]])
+        row_bytes = 128
+        single = executor._bill_flat(one_owner, row_bytes)
+        spread = executor._bill_flat(three_owners, row_bytes)
+        assert spread == pytest.approx(
+            single + 2 * DEFAULT_SPEC.network_latency)
+
+    def test_tiered_cold_split_accumulates_tiers(self, data, model):
+        shards = make_shards(data, 4)
+        executor = ShardExecutor(shards, 0, data, model,
+                                 mode="precomputed",
+                                 cache_policy="lfu", cache_ratio=0.05,
+                                 warm_ratio=0.05)
+        mixed = np.concatenate([shards.shard_vertices(0)[:8],
+                                shards.shard_vertices(2)[:8]])
+        seconds = executor.fetch_seconds(mixed, 256)
+        assert seconds > 0
+        assert executor.remote_rows == 8
+        assert executor.tier_seconds["cold"] > 0
+        assert executor.remote_seconds > 0
+        # Remote network time is part of the fetch total.
+        assert executor.remote_seconds < seconds
+
+    def test_replica_id_validated(self, data, model):
+        shards = make_shards(data, 2)
+        with pytest.raises(FleetError):
+            ShardExecutor(shards, 5, data, model, mode="precomputed")
+
+
+class TestReplicaServer:
+    def make_replica(self, data, model, shards, replica_id=0,
+                     **kwargs):
+        executor = ShardExecutor(shards, replica_id, data, model,
+                                 mode="precomputed", cache_ratio=0.0)
+        return ReplicaServer(replica_id, shards, executor,
+                             policy=BatchPolicy(max_batch_size=4,
+                                                max_wait=1e-3),
+                             **kwargs)
+
+    def test_dispatch_serves_fifo_and_stamps_replica(self, data,
+                                                     model):
+        shards = make_shards(data, 2)
+        replica = self.make_replica(data, model, shards, replica_id=1)
+        owned = shards.shard_vertices(1)
+        for i in range(4):
+            ok = replica.submit(
+                InferenceRequest(i, int(owned[i]), arrival=i * 1e-4),
+                is_owner=True)
+            assert ok
+        assert replica.next_dispatch_time(False) == 0.0  # full batch
+        responses = replica.dispatch(clock=5e-4)
+        assert [r.request.request_id for r in responses] == [0, 1, 2, 3]
+        assert all(r.replica == 1 for r in responses)
+        assert all(r.completion > 5e-4 for r in responses)
+        assert replica.completed == 4
+        assert replica.free_at == responses[0].completion
+
+    def test_bounded_queue_rejects(self, data, model):
+        shards = make_shards(data, 1, name="hash")
+        replica = self.make_replica(data, model, shards, max_queue=2)
+        for i in range(2):
+            assert replica.submit(InferenceRequest(i, 0, 0.0), True)
+        assert not replica.submit(InferenceRequest(9, 0, 0.0), True)
+        assert replica.rejected == 1
+        assert replica.queue_depth == 2
+
+    def test_crash_drains_queue_and_stops_accepting(self, data, model):
+        shards = make_shards(data, 1, name="hash")
+        replica = self.make_replica(data, model, shards)
+        for i in range(3):
+            replica.submit(InferenceRequest(i, 0, 0.0), True)
+        orphans = replica.crash(clock=1e-3, down_seconds=5e-3)
+        assert [r.request_id for r in orphans] == [0, 1, 2]
+        assert replica.queue_depth == 0
+        assert not replica.accepting
+        assert replica.next_dispatch_time(True) is None
+        replica.recover(clock=6e-3)
+        assert replica.accepting
+        assert replica.crashes == 1
+        assert replica.down_seconds == 5e-3
+
+    def test_partial_batch_waits_for_deadline(self, data, model):
+        shards = make_shards(data, 1, name="hash")
+        replica = self.make_replica(data, model, shards)
+        replica.submit(InferenceRequest(0, 0, arrival=2e-3), True)
+        # Not draining: flush at arrival + max_wait.
+        assert replica.next_dispatch_time(False) \
+            == pytest.approx(3e-3)
+        # Draining: flush as soon as the server is free.
+        assert replica.next_dispatch_time(True) == replica.free_at
+
+    def test_zero_traffic_report_has_null_latency(self, data, model):
+        shards = make_shards(data, 2)
+        replica = self.make_replica(data, model, shards)
+        report = replica.report()
+        assert isinstance(report, ReplicaReport)
+        assert report.completed == 0
+        assert report.latency_mean is None
+        assert report.latency_p50 is None
+        assert report.latency_p99 is None
+        assert report.latency_max is None
+        # ... and it still serializes (JSON null, not an exception).
+        import json
+        assert json.loads(json.dumps(report.to_dict()))[
+            "latency_p99"] is None
+
+    def test_executor_shard_mismatch_rejected(self, data, model):
+        shards = make_shards(data, 2)
+        executor = ShardExecutor(shards, 0, data, model,
+                                 mode="precomputed")
+        with pytest.raises(FleetError):
+            ReplicaServer(1, shards, executor)

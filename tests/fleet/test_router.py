@@ -1,0 +1,187 @@
+"""Router dispatch rules and the queue-depth autoscaler, exercised
+against lightweight replica stubs (no model, no dataset)."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import AutoscalePolicy, Autoscaler, Router, \
+    RoutingPolicy
+from repro.serve.requests import InferenceRequest
+
+
+class StubShards:
+    """owner(v) = v mod num_shards — enough for routing tests."""
+
+    def __init__(self, num_shards):
+        self.num_shards = num_shards
+
+    def owner(self, vertex):
+        return int(vertex) % self.num_shards
+
+
+class StubReplica:
+    def __init__(self, replica_id, queue_depth=0):
+        self.replica_id = replica_id
+        self.queue_depth = queue_depth
+        self.alive = True
+        self.active = True
+        self.draining = False
+
+    @property
+    def accepting(self):
+        return self.alive and self.active and not self.draining
+
+
+def make_router(depths, policy=None):
+    replicas = [StubReplica(i, d) for i, d in enumerate(depths)]
+    router = Router(StubShards(len(depths)), replicas, policy)
+    return router, replicas
+
+
+def request(vertex, request_id=0):
+    return InferenceRequest(request_id, vertex, arrival=0.0)
+
+
+class TestRouting:
+    def test_owner_first(self):
+        router, replicas = make_router([50, 0, 0, 0])
+        # No spillover configured: the owner wins however deep its
+        # queue is.
+        replica, is_owner = router.route(request(vertex=4))
+        assert replica is replicas[0]
+        assert is_owner
+        assert router.spillovers == 0
+
+    def test_spillover_over_threshold(self):
+        policy = RoutingPolicy(spill_threshold=8, remote_penalty=2.0)
+        router, replicas = make_router([10, 5, 3, 7], policy)
+        # Owner 0 is over threshold; penalized depths are 10 (owner,
+        # exempt), 7, 5, 9 -> replica 2 wins.
+        replica, is_owner = router.route(request(vertex=0))
+        assert replica is replicas[2]
+        assert not is_owner
+        assert router.spillovers == 1
+        assert router.failovers == 0
+
+    def test_busy_owner_still_wins_under_penalty(self):
+        policy = RoutingPolicy(spill_threshold=8, remote_penalty=8.0)
+        router, replicas = make_router([9, 4, 4, 4], policy)
+        # Penalized: owner 9 vs 12/12/12 -> owner keeps the request
+        # (and it does not count as a spillover).
+        replica, is_owner = router.route(request(vertex=0))
+        assert replica is replicas[0]
+        assert is_owner
+        assert router.spillovers == 0
+
+    def test_spillover_ties_break_to_lower_id(self):
+        policy = RoutingPolicy(spill_threshold=4, remote_penalty=0.0)
+        router, replicas = make_router([6, 2, 2, 2], policy)
+        replica, _ = router.route(request(vertex=0))
+        assert replica is replicas[1]
+
+    def test_failover_skips_dead_owner(self):
+        router, replicas = make_router([0, 3, 1, 2])
+        replicas[0].alive = False
+        replica, is_owner = router.route(request(vertex=0))
+        assert replica is replicas[2]      # min depth among survivors
+        assert not is_owner
+        assert router.failovers == 1
+
+    def test_draining_owner_fails_over(self):
+        router, replicas = make_router([0, 1])
+        replicas[0].draining = True
+        replica, is_owner = router.route(request(vertex=0))
+        assert replica is replicas[1]
+        assert not is_owner
+
+    def test_unroutable_when_all_down(self):
+        router, replicas = make_router([0, 0])
+        for replica in replicas:
+            replica.alive = False
+        with pytest.raises(FleetError):
+            router.route(request(vertex=0))
+
+    def test_replica_count_must_match_shards(self):
+        with pytest.raises(FleetError):
+            Router(StubShards(4), [StubReplica(0), StubReplica(1)])
+
+    def test_policy_validation(self):
+        with pytest.raises(FleetError):
+            RoutingPolicy(spill_threshold=0)
+        with pytest.raises(FleetError):
+            RoutingPolicy(remote_penalty=-1.0)
+
+
+class TestAutoscalePolicy:
+    def test_watermark_ordering_enforced(self):
+        with pytest.raises(FleetError):
+            AutoscalePolicy(high_watermark=2.0, low_watermark=2.0)
+
+    def test_min_replicas_floor(self):
+        with pytest.raises(FleetError):
+            AutoscalePolicy(min_replicas=0)
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(FleetError):
+            AutoscalePolicy(cooldown=-1.0)
+
+
+class TestAutoscaler:
+    def make(self, depths, **policy_kwargs):
+        policy_kwargs.setdefault("min_replicas", 1)
+        policy_kwargs.setdefault("high_watermark", 10.0)
+        policy_kwargs.setdefault("low_watermark", 2.0)
+        policy_kwargs.setdefault("cooldown", 1.0)
+        replicas = [StubReplica(i, d) for i, d in enumerate(depths)]
+        scaler = Autoscaler(AutoscalePolicy(**policy_kwargs), replicas)
+        return scaler, replicas
+
+    def test_starts_at_min_replicas(self):
+        scaler, replicas = self.make([0, 0, 0, 0], min_replicas=2)
+        assert [r.active for r in replicas] == [True, True, False,
+                                                False]
+        assert scaler.active_max == 2
+
+    def test_scales_up_over_high_watermark(self):
+        scaler, replicas = self.make([20, 0, 0])
+        scaler.evaluate(clock=5.0)
+        assert replicas[1].active
+        assert not replicas[2].active          # one step per call
+        assert scaler.events == [(5.0, "up", 1, 20.0)]
+        assert scaler.active_max == 2
+
+    def test_cooldown_blocks_back_to_back_changes(self):
+        scaler, replicas = self.make([30, 0, 0], cooldown=1.0)
+        scaler.evaluate(clock=5.0)
+        scaler.evaluate(clock=5.5)             # inside cooldown
+        assert not replicas[2].active
+        scaler.evaluate(clock=6.5)             # cooldown elapsed
+        assert replicas[2].active
+
+    def test_hysteresis_band_holds_steady(self):
+        scaler, replicas = self.make([5, 5], min_replicas=2)
+        scaler.evaluate(clock=5.0)             # 2.0 < 5 < 10.0
+        assert scaler.events == []
+
+    def test_scales_down_via_drain(self):
+        scaler, replicas = self.make([1, 1], min_replicas=1)
+        replicas[1].active = True       # as if scaled up earlier
+        scaler.evaluate(clock=5.0)
+        assert replicas[1].draining            # highest id drains
+        assert replicas[1].active              # still serving its queue
+        assert scaler.events == [(5.0, "drain", 1, 1.0)]
+        # Queue empties -> deactivate.
+        replicas[1].queue_depth = 0
+        scaler.finalize_drains(clock=6.0)
+        assert not replicas[1].active
+        assert not replicas[1].draining
+        assert scaler.events[-1] == (6.0, "down", 1, 0.0)
+
+    def test_never_drains_below_min(self):
+        scaler, replicas = self.make([0, 0], min_replicas=2)
+        scaler.evaluate(clock=5.0)
+        assert not any(r.draining for r in replicas)
+
+    def test_min_replicas_cannot_exceed_fleet(self):
+        with pytest.raises(FleetError):
+            self.make([0, 0], min_replicas=3)
