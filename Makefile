@@ -1,6 +1,6 @@
 # Developer entry points. `make help` lists targets.
 
-.PHONY: help install test lint bench serve-bench fleet-bench cache-bench chaos examples docs reproduce clean
+.PHONY: help install test lint bench serve-bench fleet-bench cache-bench chaos fleet-chaos examples docs reproduce clean
 
 help:
 	@echo "install     editable install (falls back past missing wheel pkg)"
@@ -11,6 +11,7 @@ help:
 	@echo "fleet-bench run the sharded multi-replica serving benchmark"
 	@echo "cache-bench run the tiered feature-cache benchmark alone"
 	@echo "chaos       run the fault-recovery benchmark alone"
+	@echo "fleet-chaos run the fleet resilience chaos certification"
 	@echo "examples    run all runnable examples"
 	@echo "docs        regenerate docs/api.md"
 	@echo "reproduce   write reproduction_report.md from all benchmarks"
@@ -59,6 +60,13 @@ cache-bench:
 chaos:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 	  python benchmarks/bench_fault_recovery.py --sanitize
+
+# Fleet resilience certification: baseline vs detector/replication/
+# hedging under identical fault schedules, with the PR 7 bit-parity
+# and availability/p99 gates.
+fleet-chaos:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+	  python benchmarks/bench_fleet_chaos.py --sanitize
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -25,6 +25,10 @@ Commands
     Run the fault-recovery benchmark (injected stragglers, flaky
     fetches, crashes; checkpoint/resume bit-match; see
     :mod:`repro.faults`).
+``fleet-chaos``
+    Run the fleet chaos certification (crash storms, rolling
+    stragglers, slowlinks against the resilience layer; availability/
+    goodput/p99 gates; see :mod:`repro.fleet.resilience`).
 ``lint``
     Run the determinism & numerics static-analysis pass (rule ids
     ``RPRnnn``, baseline grandfathering, text/JSON reports; see
@@ -281,6 +285,46 @@ def build_parser():
                        help="arm the runtime sanitizers for the "
                             "benchmark run")
     chaos.add_argument("--out", default="BENCH_faults.json")
+
+    fchaos = sub.add_parser(
+        "fleet-chaos",
+        help="run the fleet chaos certification (resilience layer vs "
+             "the timeout-only baseline under identical faults)")
+    fchaos.add_argument("dataset", nargs="?", default="ogb-arxiv",
+                        choices=dataset_names())
+    fchaos.add_argument("--scale", type=float, default=0.3)
+    fchaos.add_argument("--model", default="gcn",
+                        choices=["gcn", "graphsage"])
+    fchaos.add_argument("--train-epochs", type=_positive_int,
+                        default=2)
+    fchaos.add_argument("--replicas", type=_positive_int, default=4)
+    fchaos.add_argument("--replication", type=_positive_int, default=2,
+                        help="shard redundancy k for the resilient "
+                             "configuration (1..replicas)")
+    fchaos.add_argument("--rate-multiplier", type=float, default=50.0,
+                        help="arrival rate as a multiple of the "
+                             "single-server benchmark's 2000/s base")
+    fchaos.add_argument("--requests", type=_positive_int, default=1200)
+    fchaos.add_argument("--skew", type=float, default=0.8,
+                        help="query popularity skew (0 = uniform)")
+    fchaos.add_argument("--slo-ms", type=float, default=5.0,
+                        help="availability deadline in simulated "
+                             "milliseconds")
+    fchaos.add_argument("--schedule", default=None, metavar="SPEC",
+                        help="replace the composed crash storm with a "
+                             "faults.plan spec (times in simulated "
+                             "seconds, wN = replica id), e.g. "
+                             "'crash@0.002+0.003:w0'")
+    fchaos.add_argument("--partitioner", default="metis-v",
+                        choices=["hash", "metis-v", "metis-ve",
+                                 "metis-vet"])
+    fchaos.add_argument("--seed", type=int, default=0)
+    fchaos.add_argument("--quick", action="store_true",
+                        help="small smoke-test preset")
+    fchaos.add_argument("--sanitize", action="store_true",
+                        help="arm the runtime sanitizers for the "
+                             "benchmark run")
+    fchaos.add_argument("--out", default="BENCH_fleet_chaos.json")
 
     lint = sub.add_parser(
         "lint",
@@ -622,6 +666,69 @@ def _cmd_chaos(args):
     return 0 if resume_ok and report["plan_deterministic"] else 1
 
 
+def _cmd_fleet_chaos(args):
+    import json
+    from pathlib import Path
+
+    from .errors import ServingError
+    from .fleet import run_fleet_chaos_bench
+
+    if args.sanitize:
+        FLAGS.sanitize = True
+    if args.rate_multiplier < 1:
+        print(f"error: --rate-multiplier must be >= 1, got "
+              f"{args.rate_multiplier}", file=sys.stderr)
+        return 2
+    if not 1 <= args.replication <= args.replicas:
+        print(f"error: --replication must be in [1, {args.replicas}], "
+              f"got {args.replication}", file=sys.stderr)
+        return 2
+    if args.slo_ms <= 0:
+        print(f"error: --slo-ms must be > 0, got {args.slo_ms}",
+              file=sys.stderr)
+        return 2
+    try:
+        report = run_fleet_chaos_bench(
+            dataset=args.dataset, scale=args.scale, model=args.model,
+            train_epochs=args.train_epochs,
+            num_replicas=args.replicas,
+            replication=args.replication,
+            rate_multiplier=args.rate_multiplier,
+            num_requests=args.requests, skew=args.skew,
+            seed=args.seed, partitioner=args.partitioner,
+            slo=args.slo_ms / 1e3, schedule=args.schedule,
+            quick=args.quick)
+    except ServingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    rows = []
+    for row in report["scenarios"]:
+        for config in ("baseline", "resilient"):
+            result = row[config]
+            rows.append({
+                "scenario": row["scenario"],
+                "config": config,
+                "avail": round(result["availability"], 4),
+                "goodput/s": round(result["goodput"], 1),
+                "p99 (ms)": round(1e3 * result["latency_p99"], 3),
+                "dropped": result["dropped"],
+                "requeued": result["requeued"],
+                "backup": result.get("backup_completions", 0),
+            })
+    print(format_table(
+        rows, title=f"Fleet chaos ({report['dataset']}, "
+                    f"{report['num_replicas']} replicas, "
+                    f"k={report['replication']}, "
+                    f"SLO={1e3 * report['slo_seconds']:g}ms)"))
+    for gate, ok in report["gates"].items():
+        print(f"gate {gate}: {'ok' if ok else 'VIOLATED'}")
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2))
+    print(f"wrote {out} ({len(report['scenarios'])} scenarios)")
+    return 0 if all(report["gates"].values()) else 1
+
+
 def _cmd_lint(args):
     # Imported lazily: the analysis layer is light, but the lint
     # command must never become a reason cli startup grows heavier.
@@ -672,7 +779,7 @@ def main(argv=None):
                 "advise": _cmd_advise, "reproduce": _cmd_reproduce,
                 "serve-bench": _cmd_serve_bench,
                 "fleet-bench": _cmd_fleet_bench, "chaos": _cmd_chaos,
-                "lint": _cmd_lint}
+                "fleet-chaos": _cmd_fleet_chaos, "lint": _cmd_lint}
     return handlers[args.command](args)
 
 

@@ -316,7 +316,9 @@ class Trainer:
         start_epoch = 0
 
         if resume and checkpointer is not None and checkpointer.exists():
-            state = checkpointer.load()
+            # load_latest falls back to the previous valid checkpoint
+            # when the newest save was interrupted mid-commit.
+            state = checkpointer.load_latest()
             if state.get("fingerprint") != self._fingerprint():
                 raise CheckpointError(
                     f"checkpoint at {checkpointer.path} belongs to a "

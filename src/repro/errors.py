@@ -79,6 +79,15 @@ class CheckpointError(ReproError):
     mismatch), or belongs to a different training configuration."""
 
 
+class CheckpointIntegrityError(CheckpointError):
+    """Raised when a checkpoint file exists but cannot be trusted: its
+    checksum sidecar is missing or disagrees with the payload, the
+    payload is truncated, or the header is corrupt.  Distinct from a
+    merely *missing* checkpoint so recovery code can decide to fall
+    back to the previous valid checkpoint
+    (:meth:`repro.faults.Checkpointer.load_latest`)."""
+
+
 class SanitizerError(ReproError):
     """Raised by the runtime sanitizers (``repro.analysis.sanitize``)
     when a numeric invariant is violated with ``FLAGS.sanitize`` on:

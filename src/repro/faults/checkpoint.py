@@ -9,15 +9,28 @@ it reproduces the uninterrupted run's loss/accuracy curve bit-identically
 formation consumes the restored rng exactly where the original left off
 at the epoch boundary.
 
-The file format is crash-safe and self-verifying:
+The file format is crash-safe and self-verifying, with a two-phase
+commit ordered so that a crash at *any* point leaves a recoverable
+state:
 
-* writes go to a temp file in the same directory, flushed and fsynced,
-  then atomically renamed over the target (a crash mid-write leaves the
-  previous checkpoint intact);
-* the payload (stdlib pickle of numpy state) is prefixed by a magic
-  string and a JSON header carrying its SHA-256, verified on load —
-  truncation or bit-rot raises :class:`~repro.errors.CheckpointError`
-  instead of resuming from garbage.
+1. the payload file (magic string + JSON header carrying the payload's
+   SHA-256 + stdlib pickle of numpy state) is written to a temp file in
+   the same directory, flushed and fsynced;
+2. the previous checkpoint and its sidecar — if any — are rotated to
+   ``<name>.prev`` / ``<name>.prev.sha256`` so recovery always has a
+   known-good fallback;
+3. the new payload is atomically renamed over the target;
+4. the checksum sidecar ``<name>.sha256`` is written **last** (temp +
+   fsync + rename).  The sidecar is the commit record: a checkpoint
+   without a matching sidecar was interrupted mid-write and must not be
+   trusted.
+
+:meth:`Checkpointer.load` verifies magic, header, payload length,
+header checksum, and finally the sidecar; any failure raises a typed
+error (:class:`~repro.errors.CheckpointIntegrityError` for files that
+exist but cannot be trusted).  :meth:`Checkpointer.load_latest` is the
+recovery entry point: it falls back to the previous valid checkpoint
+when the newest one fails verification.
 
 Checkpoints are pickle files: load them only from paths you wrote
 (the usual pickle trust model; these are private training artifacts,
@@ -33,7 +46,7 @@ import pickle
 import tempfile
 from pathlib import Path
 
-from ..errors import CheckpointError
+from ..errors import CheckpointError, CheckpointIntegrityError
 
 __all__ = ["Checkpointer"]
 
@@ -47,7 +60,10 @@ class Checkpointer:
     ----------
     path:
         Checkpoint file location.  The parent directory is created on
-        first save.
+        first save.  Three companion files live next to it: the
+        ``.sha256`` checksum sidecar (written last, acts as the commit
+        record) and the ``.prev``/``.prev.sha256`` pair holding the
+        previous checkpoint for fallback recovery.
     every:
         Save cadence in epochs: the trainer saves after epoch ``e`` when
         ``(e + 1) % every == 0`` (and always after the final epoch).
@@ -60,6 +76,20 @@ class Checkpointer:
         self.every = int(every)
         self.saves = 0
 
+    @property
+    def sidecar_path(self):
+        """The checksum sidecar committed last on every save."""
+        return self.path.with_name(self.path.name + ".sha256")
+
+    @property
+    def previous_path(self):
+        """Where the prior checkpoint is rotated to on save."""
+        return self.path.with_name(self.path.name + ".prev")
+
+    @property
+    def previous_sidecar_path(self):
+        return self.path.with_name(self.path.name + ".prev.sha256")
+
     def exists(self):
         """Whether a checkpoint file is present."""
         return self.path.is_file()
@@ -69,74 +99,144 @@ class Checkpointer:
         return (epoch + 1) % self.every == 0
 
     def save(self, state):
-        """Atomically persist ``state`` (a picklable dict)."""
+        """Atomically persist ``state`` (a picklable dict).
+
+        Write order is payload first, checksum sidecar last: the
+        sidecar only ever describes a fully-fsynced payload, so a crash
+        between the two steps is detectable (missing/mismatched
+        sidecar) rather than silent.
+        """
         payload = pickle.dumps(state, protocol=4)
+        digest = hashlib.sha256(payload).hexdigest()
         header = json.dumps({
             "version": 1,
-            "sha256": hashlib.sha256(payload).hexdigest(),
+            "sha256": digest,
             "payload_bytes": len(payload),
         }).encode("ascii") + b"\n"
 
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(self.path, _MAGIC + header + payload,
+                           rotate=True)
+        self._write_atomic(self.sidecar_path,
+                           digest.encode("ascii") + b"\n")
+        self.saves += 1
+
+    def _write_atomic(self, target, blob, rotate=False):
+        """Temp + fsync + rename ``blob`` into ``target``; with
+        ``rotate``, first preserve the current checkpoint pair as the
+        ``.prev`` fallback."""
         fd, tmp_name = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name + ".tmp-")
+            dir=self.path.parent, prefix=target.name + ".tmp-")
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(_MAGIC)
-                handle.write(header)
-                handle.write(payload)
+                handle.write(blob)
                 handle.flush()
                 os.fsync(handle.fileno())
-            os.replace(tmp_name, self.path)
+            if rotate:
+                self._rotate_previous()
+            os.replace(tmp_name, target)
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
-        self.saves += 1
+        return target
+
+    def _rotate_previous(self):
+        """Move the current checkpoint + sidecar to the ``.prev`` slot.
+
+        Only a *committed* pair (payload and sidecar both present) is
+        worth keeping as a fallback; an uncommitted payload is dropped
+        so ``.prev`` never regresses to a corrupt generation.
+        """
+        if not (self.path.is_file() and self.sidecar_path.is_file()):
+            return
+        os.replace(self.sidecar_path, self.previous_sidecar_path)
+        os.replace(self.path, self.previous_path)
 
     def load(self):
         """Read, verify, and unpickle the checkpoint.
 
-        Raises :class:`CheckpointError` when the file is missing,
-        truncated, not a checkpoint, or fails its checksum.
+        Raises :class:`CheckpointError` when the file is missing and
+        :class:`CheckpointIntegrityError` when it exists but is
+        truncated, not a checkpoint, fails its checksum, or its
+        checksum sidecar is missing/mismatched (an interrupted save).
         """
-        if not self.exists():
-            raise CheckpointError(f"no checkpoint at {self.path}")
-        raw = self.path.read_bytes()
+        return self._load_verified(self.path, self.sidecar_path)
+
+    def load_latest(self):
+        """Load the newest checkpoint that passes verification.
+
+        The recovery entry point: tries the current checkpoint first
+        and, if it exists but fails integrity checks (e.g. the process
+        died between writing the payload and committing the sidecar),
+        falls back to the ``.prev`` pair rotated out by the last
+        successful save.  Raises the original error when no fallback
+        exists or the fallback is also bad.
+        """
+        try:
+            return self._load_verified(self.path, self.sidecar_path)
+        except CheckpointIntegrityError as exc:
+            if not self.previous_path.is_file():
+                raise
+            try:
+                return self._load_verified(self.previous_path,
+                                           self.previous_sidecar_path)
+            except CheckpointError:
+                raise exc from None
+
+    def _load_verified(self, path, sidecar):
+        if not path.is_file():
+            raise CheckpointError(f"no checkpoint at {path}")
+        raw = path.read_bytes()
         if not raw.startswith(_MAGIC):
-            raise CheckpointError(
-                f"{self.path} is not a repro checkpoint (bad magic)")
+            raise CheckpointIntegrityError(
+                f"{path} is not a repro checkpoint (bad magic)")
         body = raw[len(_MAGIC):]
         newline = body.find(b"\n")
         if newline < 0:
-            raise CheckpointError(f"{self.path} is truncated (no header)")
+            raise CheckpointIntegrityError(
+                f"{path} is truncated (no header)")
         try:
             header = json.loads(body[:newline].decode("ascii"))
         except (UnicodeDecodeError, json.JSONDecodeError):
-            raise CheckpointError(
-                f"{self.path} has a corrupt header") from None
+            raise CheckpointIntegrityError(
+                f"{path} has a corrupt header") from None
         payload = body[newline + 1:]
         if len(payload) != header.get("payload_bytes"):
-            raise CheckpointError(
-                f"{self.path} is truncated: expected "
+            raise CheckpointIntegrityError(
+                f"{path} is truncated: expected "
                 f"{header.get('payload_bytes')} payload bytes, "
                 f"found {len(payload)}")
         digest = hashlib.sha256(payload).hexdigest()
         if digest != header.get("sha256"):
-            raise CheckpointError(
-                f"{self.path} failed its integrity check "
+            raise CheckpointIntegrityError(
+                f"{path} failed its integrity check "
                 f"(sha256 mismatch)")
+        if not sidecar.is_file():
+            raise CheckpointIntegrityError(
+                f"{path} has no checksum sidecar ({sidecar.name}): "
+                f"the save was interrupted before the checksum was "
+                f"committed")
+        committed = sidecar.read_bytes().decode("ascii",
+                                                "replace").strip()
+        if committed != digest:
+            raise CheckpointIntegrityError(
+                f"{path} disagrees with its checksum sidecar "
+                f"({sidecar.name}): the sidecar was partially "
+                f"written or belongs to another generation")
         try:
             return pickle.loads(payload)
         except Exception as exc:
             raise CheckpointError(
-                f"{self.path} could not be unpickled: {exc}") from exc
+                f"{path} could not be unpickled: {exc}") from exc
 
     def delete(self):
-        """Remove the checkpoint file if present."""
-        try:
-            self.path.unlink()
-        except FileNotFoundError:
-            pass
+        """Remove the checkpoint, sidecar, and fallback files."""
+        for target in (self.path, self.sidecar_path,
+                       self.previous_path, self.previous_sidecar_path):
+            try:
+                target.unlink()
+            except FileNotFoundError:
+                pass

@@ -12,6 +12,16 @@ times — and a run resumed from an epoch-boundary checkpoint replays the
 exact same draws, because every stream is reseeded at epoch start from
 ``(plan seed, epoch, worker)`` alone.
 
+The grammar is shared infrastructure: :meth:`FaultPlan.parse` is the
+*single* schedule parser for both the training chaos benchmark
+(``repro chaos``, times = integer epochs) and the serving-fleet chaos
+harness (``repro fleet-chaos``, times = simulated seconds, fractional
+allowed; ``worker`` then names a replica).  Each consumer validates the
+clock semantics it needs — :class:`FaultInjector` rejects fractional
+epochs, :class:`repro.fleet.resilience.FleetSchedule` rejects
+epoch-only kinds — but the token syntax, field validation, and seeding
+are defined once, here.
+
 Event kinds
 -----------
 ``halt``
@@ -55,6 +65,15 @@ _WORKER_KINDS = ("crash", "straggler", "flaky")
 _WINDOW_KINDS = ("straggler", "flaky", "slowlink")
 
 
+def _number(text):
+    """Parse a schedule time: ``int`` when integral (epoch clocks),
+    ``float`` otherwise (the fleet's seconds clock)."""
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault.
@@ -64,13 +83,17 @@ class FaultEvent:
     kind:
         One of :data:`FAULT_KINDS`.
     epoch:
-        First epoch the fault affects.
+        First instant the fault affects — an integer epoch on the
+        training clock, a (possibly fractional) simulated second on the
+        fleet clock.
     worker:
-        Target worker for ``crash``/``straggler``/``flaky``; must be
-        ``None`` for cluster-wide kinds.
+        Target worker/replica for ``crash``/``straggler``/``flaky``;
+        must be ``None`` for cluster-wide kinds.
     duration:
-        Number of epochs a windowed fault stays active (``straggler``,
-        ``flaky``, ``slowlink``); ignored by ``halt``/``crash``.
+        How long a windowed fault stays active (``straggler``,
+        ``flaky``, ``slowlink``), in the schedule's clock units.  For
+        ``crash`` on the fleet clock it is the node's down time;
+        the training injector (permanent crashes) ignores it.
     magnitude:
         Kind-specific intensity: stage-time multiplier (>= 1) for
         ``straggler``, per-message failure probability in [0, 1) for
@@ -89,9 +112,9 @@ class FaultEvent:
                 f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
         if self.epoch < 0:
             raise FaultError(f"fault epoch must be >= 0, got {self.epoch}")
-        if self.duration < 1:
+        if self.duration <= 0:
             raise FaultError(
-                f"fault duration must be >= 1, got {self.duration}")
+                f"fault duration must be > 0, got {self.duration}")
         if self.kind in _WORKER_KINDS:
             if self.worker is None or self.worker < 0:
                 raise FaultError(
@@ -118,9 +141,10 @@ class FaultEvent:
 
     def describe(self):
         """Compact spec-string form (inverse of :meth:`FaultPlan.parse`)."""
-        token = f"{self.kind}@{self.epoch}"
-        if self.kind in _WINDOW_KINDS and self.duration != 1:
-            token += f"+{self.duration}"
+        token = f"{self.kind}@{self.epoch:g}"
+        if self.duration != 1 and (self.kind in _WINDOW_KINDS
+                                   or self.kind == "crash"):
+            token += f"+{self.duration:g}"
         if self.worker is not None:
             token += f":w{self.worker}"
         if self.kind == "straggler":
@@ -158,12 +182,16 @@ class FaultPlan:
 
         Grammar (one token per event)::
 
-            halt@E                      process crash at epoch E
-            crash@E:wW                  worker W dies at epoch E
-            straggler@E[+D]:wW:xM       worker W is M-times slower
-            flaky@E[+D]:wW:pP           worker W's fetches fail w.p. P
-            slowlink@E[+D]:xM           network bandwidth scaled by M
+            halt@T                      process crash at time T
+            crash@T[+D]:wW              worker/replica W dies at T
+                                        (down D on the fleet clock)
+            straggler@T[+D]:wW:xM       worker W is M-times slower
+            flaky@T[+D]:wW:pP           worker W's fetches fail w.p. P
+            slowlink@T[+D]:xM           network bandwidth scaled by M
 
+        Times are integer epochs on the training clock or simulated
+        seconds (fractions allowed) on the fleet clock — the same
+        grammar serves ``repro chaos`` and ``repro fleet-chaos``.
         Example: ``"straggler@1+3:w0:x4,crash@2:w1,slowlink@3:x0.5"``.
         """
         events = []
@@ -178,12 +206,12 @@ class FaultPlan:
                     f"bad fault token {token!r}: expected kind@epoch[...]")
             epoch_text, _, duration_text = when.partition("+")
             try:
-                epoch = int(epoch_text)
-                duration = int(duration_text) if duration_text else 1
+                epoch = _number(epoch_text)
+                duration = _number(duration_text) if duration_text else 1
             except ValueError:
                 raise FaultError(
-                    f"bad fault token {token!r}: epoch/duration must be "
-                    f"integers") from None
+                    f"bad fault token {token!r}: time/duration must be "
+                    f"numbers") from None
             worker = None
             magnitude = 1.0
             for part in (p for p in rest.split(":") if p):
@@ -229,6 +257,16 @@ class FaultInjector:
             raise FaultError(
                 f"FaultInjector needs a FaultPlan or spec string, "
                 f"got {type(plan).__name__}")
+        for event in plan:
+            # The shared grammar also serves the fleet's seconds clock;
+            # the training injector runs on integer epochs only.
+            if (event.epoch != int(event.epoch)
+                    or event.duration != int(event.duration)):
+                raise FaultError(
+                    f"fault {event.describe()!r} uses fractional times; "
+                    f"the training injector runs on the integer epoch "
+                    f"clock (fractional seconds belong to the fleet "
+                    f"schedule)")
         self.plan = plan
         self.epoch = None
         self._fetch_rngs = {}

@@ -19,11 +19,20 @@ fewer remote rows → flatter tails.  In ``precomputed`` mode the
 fleet's answers are bit-identical to the single server's for the same
 trace (row-wise evaluation makes answers batching-invariant), which
 ``benchmarks/bench_fleet.py`` asserts as its exact-match invariant.
+
+:mod:`repro.fleet.resilience` layers availability on top: phi-accrual
+failure detection, k-replicated shard ownership, circuit breakers,
+hedged requests, retry budgets, and checkpointed cache recovery — all
+off by default and certified under composable fault schedules by
+``benchmarks/bench_fleet_chaos.py`` / ``repro fleet-chaos``.
 """
 
 from .engine import FleetEngine
 from .metrics import FleetReport, ReplicaReport
 from .replica import ReplicaServer, ShardExecutor
+from .resilience import (BreakerPolicy, CircuitBreaker, DetectorPolicy,
+                         FailureDetector, FleetSchedule, HedgePolicy,
+                         ReplicaRecovery, ResiliencePolicy)
 from .router import Autoscaler, AutoscalePolicy, Router, RoutingPolicy
 from .shards import ShardMap
 
@@ -31,8 +40,12 @@ __all__ = [
     "FleetEngine", "FleetReport", "ReplicaReport", "ReplicaServer",
     "ShardExecutor", "ShardMap", "Router", "RoutingPolicy",
     "Autoscaler", "AutoscalePolicy",
+    "DetectorPolicy", "FailureDetector", "BreakerPolicy",
+    "CircuitBreaker", "HedgePolicy", "ResiliencePolicy",
+    "ReplicaRecovery", "FleetSchedule",
 ]
 
 from .bench import run_fleet_bench  # noqa: E402  (engine types first)
+from .chaos import run_fleet_chaos_bench  # noqa: E402
 
-__all__.append("run_fleet_bench")
+__all__ += ["run_fleet_bench", "run_fleet_chaos_bench"]

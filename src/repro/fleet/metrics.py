@@ -124,12 +124,24 @@ class FleetReport:
     cache_policy: str = "lru"
     scale_events: list = field(default_factory=list)
     replicas_active_max: int = 0
+    dropped: int = 0               # lost outright: unroutable or over
+    #                                the retry budget (subset of
+    #                                ``rejected``); their ids are kept
+    dropped_request_ids: list = field(default_factory=list)
+    replication_factor: float = 1.0
+    resilience: dict | None = None  # detector/hedge/breaker/recovery
+    #                                 counters; None on baseline runs
     replicas: list = field(default_factory=list)
     responses: list = field(repr=False, default_factory=list)
 
     @property
     def reject_rate(self):
         return self.rejected / self.num_requests \
+            if self.num_requests else 0.0
+
+    @property
+    def drop_rate(self):
+        return self.dropped / self.num_requests \
             if self.num_requests else 0.0
 
     def breakdown(self):
@@ -154,6 +166,7 @@ class FleetReport:
                for name in self.__dataclass_fields__
                if name not in ("responses", "replicas")}
         out["reject_rate"] = self.reject_rate
+        out["drop_rate"] = self.drop_rate
         out["breakdown"] = self.breakdown()
         out["replicas"] = [r.to_dict() for r in self.replicas]
         return out

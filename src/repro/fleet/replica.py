@@ -65,6 +65,7 @@ class ShardExecutor(BatchExecutor):
         self.remote_rows = 0
         self.remote_seconds = 0.0
         self.last_remote_rows = 0
+        self.last_remote_seconds = 0.0
 
     def reset_counters(self):
         super().reset_counters()
@@ -72,6 +73,7 @@ class ShardExecutor(BatchExecutor):
         self.remote_rows = 0
         self.remote_seconds = 0.0
         self.last_remote_rows = 0
+        self.last_remote_seconds = 0.0
 
     def _remote_cost(self, remote, row_bytes, pcie_share):
         """Network path of a remote fetch: scatter-gather on the owning
@@ -125,6 +127,7 @@ class ShardExecutor(BatchExecutor):
         self.tier_seconds["warm"] += warm_seconds
         self.tier_seconds["cold"] += lcold_seconds + remote_seconds
         self.remote_seconds += remote_seconds
+        self.last_remote_seconds = remote_seconds
         return warm_seconds + lcold_seconds + remote_seconds
 
     def _bill_flat(self, misses, row_bytes):
@@ -139,6 +142,7 @@ class ShardExecutor(BatchExecutor):
         local_bytes = len(local) * row_bytes
         remote_bytes = len(remote) * row_bytes
         moved = local_bytes + remote_bytes
+        self.last_remote_seconds = 0.0
         if moved == 0:
             return 0.0
         pcie = self.spec.pcie_time(moved)
@@ -150,6 +154,7 @@ class ShardExecutor(BatchExecutor):
         remote_seconds = self._remote_cost(
             remote, row_bytes, remote_share) if remote_bytes else 0.0
         self.remote_seconds += remote_seconds
+        self.last_remote_seconds = remote_seconds
         return local_seconds + remote_seconds
 
 
@@ -244,14 +249,25 @@ class ReplicaServer:
             ready_at = self.batcher.oldest_deadline()
         return max(self.free_at, ready_at)
 
-    def dispatch(self, clock):
+    def dispatch(self, clock, straggle=1.0, slowlink=1.0):
         """Serve one micro-batch at simulated time ``clock``; returns
-        the responses (stamped with this replica's id)."""
+        the responses (stamped with this replica's id).
+
+        ``straggle`` multiplies the whole service time (a slow node);
+        ``slowlink`` scales network bandwidth, stretching this batch's
+        remote-fetch seconds by ``1/slowlink``.  Both default to 1.0
+        and are only *applied* when they differ — the healthy path's
+        float arithmetic is untouched (bit-exact baseline)."""
         batch = self.batcher.take()
         vertices = np.array([r.vertex for r in batch], dtype=np.int64)
         predictions, bp, dt, nn = self.executor.execute(vertices,
                                                         self.rng)
         service = bp + dt + nn
+        if slowlink != 1.0:
+            service += self.executor.last_remote_seconds \
+                * (1.0 / slowlink - 1.0)
+        if straggle != 1.0:
+            service *= straggle
         completion = clock + service
         self.free_at = completion
 
@@ -274,15 +290,22 @@ class ReplicaServer:
                 batch_size=len(batch), replica=self.replica_id))
         return responses
 
-    def crash(self, clock, down_seconds):
+    def crash(self, clock, down_seconds, cold=False):
         """Take the node down at ``clock``; returns the queued requests
-        the router must re-route (failover)."""
+        the router must re-route (failover).  ``cold`` drops the
+        in-memory cache residency with the process (the fleet's
+        recovery layer then re-warms it from a snapshot on rejoin);
+        the default keeps PR 7's process-restart semantics."""
         self.alive = False
         self.crashes += 1
         self.down_seconds += down_seconds
         # An in-flight batch is lost with the node; queued-but-unserved
         # requests survive in the router's hands.
         self.free_at = max(self.free_at, clock)
+        if cold:
+            cache = self.executor.cache
+            if isinstance(cache, TieredCache):
+                cache.evict_all()
         return self.batcher.drain()
 
     def recover(self, clock):

@@ -82,7 +82,7 @@ class Router:
         spillover.
     """
 
-    def __init__(self, shards, replicas, policy=None):
+    def __init__(self, shards, replicas, policy=None, breakers=None):
         if len(replicas) != shards.num_shards:
             raise FleetError(
                 f"{len(replicas)} replicas for {shards.num_shards} "
@@ -90,42 +90,92 @@ class Router:
         self.shards = shards
         self.replicas = list(replicas)
         self.policy = policy or RoutingPolicy()
+        self.breakers = breakers
         self.spillovers = 0
         self.failovers = 0
+        self.backup_routed = 0
 
-    def _cheapest(self, candidates, owner):
+    def _admits(self, replica, now):
+        """Accepting, and (when circuit breakers are wired in) the
+        replica's breaker lets a request through at ``now``."""
+        if not replica.accepting:
+            return False
+        if self.breakers is not None \
+                and not self.breakers[replica.replica_id].allows(now):
+            return False
+        return True
+
+    def _cheapest(self, candidates, owner, vertex=None):
         """The accepting replica minimizing penalized queue depth
-        (owner exempt from the penalty; ties break toward lower id)."""
+        (owner exempt from the penalty; ties break toward lower id).
+        With a replicated partition, backup holders of ``vertex`` are
+        also exempt — their copy of the row makes them as cheap as the
+        owner."""
         penalty = self.policy.remote_penalty
-        return min(candidates,
-                   key=lambda r: (r.queue_depth
-                                  + (0.0 if r is owner else penalty),
-                                  r.replica_id))
+        if vertex is not None and getattr(self.shards, "replicated",
+                                          False):
+            holders = set(self.shards.holders(vertex))
 
-    def route(self, request):
+            def cost(r):
+                free = r is owner or r.replica_id in holders
+                return (r.queue_depth + (0.0 if free else penalty),
+                        r.replica_id)
+        else:
+            def cost(r):
+                return (r.queue_depth
+                        + (0.0 if r is owner else penalty),
+                        r.replica_id)
+        return min(candidates, key=cost)
+
+    def route(self, request, now=0.0):
         """Pick ``(replica, is_owner)`` for one request.  Raises
         :class:`~repro.errors.FleetError` when no replica is accepting
-        (every node crashed or drained away)."""
+        (every node crashed or drained away) — the error message names
+        the request id so the engine can surface dropped requests."""
         owner = self.replicas[self.shards.owner(request.vertex)]
-        candidates = [r for r in self.replicas if r.accepting]
+        candidates = [r for r in self.replicas if self._admits(r, now)]
         if not candidates:
             raise FleetError(
                 f"request {request.request_id} is unroutable: no "
                 f"replica is accepting")
 
-        if owner.accepting:
+        if owner in candidates:
             threshold = self.policy.spill_threshold
             if threshold is None or owner.queue_depth < threshold:
                 return owner, True
-            chosen = self._cheapest(candidates, owner)
+            chosen = self._cheapest(candidates, owner, request.vertex)
             if chosen is not owner:
                 self.spillovers += 1
             return chosen, chosen is owner
 
-        # Owner down or draining: failover to the cheapest survivor.
-        chosen = self._cheapest(candidates, owner)
+        # Owner down, draining, or circuit-broken: failover to the
+        # cheapest survivor — a backup holder of the vertex when the
+        # partition replicates rows (it serves from its local copy).
+        chosen = self._cheapest(candidates, owner, request.vertex)
         self.failovers += 1
+        if getattr(self.shards, "replicated", False) \
+                and chosen.replica_id in self.shards.backups(
+                    request.vertex):
+            self.backup_routed += 1
         return chosen, False
+
+    def route_hedge(self, request, exclude, now=0.0):
+        """Route a hedge copy of ``request`` to a replica *not* in
+        ``exclude`` (the ids already holding a copy); returns
+        ``(replica, is_owner)`` or ``None`` when no distinct replica
+        can take it (never raises — a hedge is opportunistic)."""
+        owner = self.replicas[self.shards.owner(request.vertex)]
+        candidates = [r for r in self.replicas
+                      if r.replica_id not in exclude
+                      and self._admits(r, now)]
+        if not candidates:
+            return None
+        chosen = self._cheapest(candidates, owner, request.vertex)
+        if getattr(self.shards, "replicated", False) \
+                and chosen.replica_id in self.shards.backups(
+                    request.vertex):
+            self.backup_routed += 1
+        return chosen, chosen is owner
 
 
 @dataclass(frozen=True)
@@ -221,6 +271,23 @@ class Autoscaler:
             self._last_change = clock
             self.events.append(
                 (clock, "drain", victim.replica_id, depth))
+
+    def replace(self, clock, dead_id):
+        """Activate a standby to cover a replica declared dead by the
+        failure detector; returns whether one was available.  Recorded
+        as a ``"replace"`` event (fourth field = the dead replica)."""
+        for replica in self.replicas:
+            if replica.alive and not replica.active:
+                replica.active = True
+                replica.draining = False
+                self.events.append(
+                    (clock, "replace", replica.replica_id,
+                     float(dead_id)))
+                self.active_max = max(
+                    self.active_max,
+                    sum(1 for r in self.replicas if r.active))
+                return True
+        return False
 
     def finalize_drains(self, clock):
         """Deactivate any draining replica whose queue has emptied."""

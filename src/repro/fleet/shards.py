@@ -60,9 +60,33 @@ class ShardMap:
     def num_vertices(self):
         return len(self.assignment)
 
+    @property
+    def replicated(self):
+        """Whether the partition carries a replica matrix (k-redundant
+        ownership or SALIENT++ hot-set caching)."""
+        return self.partition.replicas is not None
+
+    def replication_factor(self):
+        """Average holders per vertex (1.0 = owner-only)."""
+        return self.partition.replication_factor()
+
     def owner(self, vertices):
         """Owning shard of ``vertices`` (scalar in, scalar out)."""
         return self.partition.owner(vertices)
+
+    def holders(self, vertex):
+        """Every shard holding ``vertex``'s row locally, owner first,
+        backups in ascending shard id.  Without a replica matrix this
+        is just ``[owner]`` — the single-owner fleet."""
+        owner = self.partition.owner(vertex)
+        if not self.replicated:
+            return [owner]
+        held = np.flatnonzero(self.partition.replicas[:, int(vertex)])
+        return [owner] + [int(s) for s in held if s != owner]
+
+    def backups(self, vertex):
+        """The non-owner shards holding ``vertex`` (ascending ids)."""
+        return self.holders(vertex)[1:]
 
     def shard_vertices(self, shard):
         """Vertex ids owned by ``shard`` (sorted ascending)."""
@@ -74,12 +98,16 @@ class ShardMap:
         return self.partition.sizes()
 
     def remote_mask(self, shard, vertices):
-        """Boolean array: is each vertex owned by a *different* shard
-        (so a replica serving ``shard`` must fetch it remotely unless a
-        cache holds it)?"""
+        """Boolean array: must a replica serving ``shard`` fetch each
+        vertex from another shard (not owned there and, when the
+        partition replicates rows, not held as a backup copy either)?
+        Without a replica matrix this is exactly the ownership test —
+        the single-owner fleet's billing path, unchanged."""
         self._check_shard(shard)
         vertices = np.asarray(vertices, dtype=np.int64)
-        return self.assignment[vertices] != shard
+        if self.partition.replicas is None:
+            return self.assignment[vertices] != shard
+        return ~self.partition.is_local(shard, vertices)
 
     def split_local_remote(self, shard, vertices):
         """Partition ``vertices`` into ``(local, remote)`` id arrays by

@@ -6,7 +6,8 @@ from .metis import MetisPartitioner, metis_clusters, metis_partition
 from .quality import (balance_ratio, clustering_coefficient_variance,
                       edge_cut, edge_cut_fraction, partition_subgraphs,
                       quality_report)
-from .replication import (partition_aware_replication,
+from .replication import (k_redundant_replication,
+                          partition_aware_replication,
                           remote_access_frequencies)
 from .streaming import (StreamBPartitioner, StreamVPartitioner,
                         build_bfs_blocks, l_hop_neighborhood)
@@ -23,7 +24,8 @@ __all__ = [
     "clustering_coefficient_variance", "quality_report",
     "MachineWorkload", "WorkloadReport", "measure_workload",
     "BYTES_PER_EDGE",
-    "partition_aware_replication", "remote_access_frequencies",
+    "k_redundant_replication", "partition_aware_replication",
+    "remote_access_frequencies",
     "all_partitioners",
 ]
 

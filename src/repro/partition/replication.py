@@ -17,7 +17,56 @@ import numpy as np
 from ..errors import PartitionError
 from .base import PartitionResult
 
-__all__ = ["partition_aware_replication", "remote_access_frequencies"]
+__all__ = ["k_redundant_replication", "partition_aware_replication",
+           "remote_access_frequencies"]
+
+
+def k_redundant_replication(partition, k):
+    """Give every vertex a primary owner plus ``k - 1`` backup holders.
+
+    Backups are the ``k - 1`` cyclic successors of the owning partition
+    (vertex owned by part ``p`` is also held by ``p+1, ..., p+k-1`` mod
+    the partition count), so replica placement is deterministic, every
+    partition carries an equal share of backup load, and the backup set
+    for any vertex is always ``k - 1`` *distinct* non-owner machines.
+    This is the fleet-resilience scheme: any single replica can die and
+    every one of its rows stays servable on the next shard over.
+
+    Parameters
+    ----------
+    partition:
+        The :class:`PartitionResult` to replicate.  Pre-existing
+        replicas (e.g. SALIENT++ hot-set caching) are preserved and
+        unioned with the redundancy copies.
+    k:
+        Total holders per vertex (owner included).  ``k = 1`` returns a
+        copy with ownership-only replicas — the identity placement.
+
+    Returns
+    -------
+    A new :class:`PartitionResult` (same ownership, method suffixed
+    ``+k{k}``) whose replica matrix has at least ``k`` holders per
+    vertex.
+    """
+    if not 1 <= int(k) <= partition.num_parts:
+        raise PartitionError(
+            f"replication factor must be in [1, {partition.num_parts}] "
+            f"(num_parts), got {k}")
+    k = int(k)
+    n = partition.num_vertices
+    replicas = (partition.replicas.copy()
+                if partition.replicas is not None
+                else np.zeros((partition.num_parts, n), dtype=bool))
+    vertex_ids = np.arange(n)
+    for offset in range(k):
+        holders = (partition.assignment + offset) % partition.num_parts
+        replicas[holders, vertex_ids] = True
+    return PartitionResult(
+        assignment=partition.assignment.copy(),
+        num_parts=partition.num_parts,
+        method=f"{partition.method}+k{k}",
+        seconds=partition.seconds,
+        replicas=replicas)
 
 
 def remote_access_frequencies(dataset, partition, sampler, rng, epochs=2,

@@ -126,6 +126,18 @@ class MicroBatcher:
         self._queue.clear()
         return drained
 
+    def cancel(self, request_id):
+        """Remove the queued request with ``request_id`` if present;
+        returns whether one was removed.  Used by the fleet's hedged
+        requests: when one copy of a hedged pair completes, the twin
+        still sitting in another replica's queue is cancelled so it
+        never consumes service time (first-response-wins)."""
+        for index, queued in enumerate(self._queue):
+            if queued.request_id == request_id:
+                del self._queue[index]
+                return True
+        return False
+
     def take(self):
         """Pop the next batch (up to ``max_batch_size`` requests, FIFO
         order).  Raises :class:`ServingError` on an empty queue."""

@@ -278,6 +278,76 @@ class TieredCache:
         self.cold_misses = 0
 
     # ------------------------------------------------------------------
+    # Snapshot / restore (fleet crash recovery)
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Capture residency state + counters as a picklable dict.
+
+        Restoring the snapshot on a fresh (or crashed-and-replaced)
+        cache reproduces the exact tier assignments, admission scores,
+        and logical clock, so a recovered replica replays the same
+        hit/miss sequence the uninterrupted one would have (the fleet's
+        deterministic cache re-warm after crash recovery).
+        """
+        state = {
+            "policy": self.policy,
+            "num_vertices": self.num_vertices,
+            "hot_capacity": self.hot_capacity,
+            "warm_capacity": self.warm_capacity,
+            "hot_hits": self.hot_hits,
+            "warm_hits": self.warm_hits,
+            "cold_misses": self.cold_misses,
+        }
+        if self.enabled:
+            state["tier"] = self._tier.copy()
+            state["clock"] = self._clock
+            state["hot_ids"] = self._hot_ids.copy()
+            state["warm_ids"] = self._warm_ids.copy()
+            if self.dynamic:
+                state["score"] = self._score.copy()
+        return state
+
+    def restore(self, state):
+        """Adopt a :meth:`snapshot` taken from a same-shaped cache."""
+        same = (state.get("policy") == self.policy
+                and state.get("num_vertices") == self.num_vertices
+                and state.get("hot_capacity") == self.hot_capacity
+                and state.get("warm_capacity") == self.warm_capacity)
+        if not same:
+            raise TransferError(
+                "cache snapshot does not match this cache's "
+                "policy/shape; refusing to restore")
+        self.hot_hits = int(state["hot_hits"])
+        self.warm_hits = int(state["warm_hits"])
+        self.cold_misses = int(state["cold_misses"])
+        if self.enabled:
+            self._tier = np.asarray(state["tier"], dtype=np.int8).copy()
+            self._clock = int(state["clock"])
+            self._hot_ids = np.asarray(state["hot_ids"],
+                                       dtype=np.int64).copy()
+            self._warm_ids = np.asarray(state["warm_ids"],
+                                        dtype=np.int64).copy()
+            if self.dynamic:
+                self._score = np.asarray(state["score"],
+                                         dtype=np.int64).copy()
+
+    def evict_all(self):
+        """Drop all residency (a crashed process lost its memory);
+        hit/miss counters are kept — they are run-level statistics.
+        Static policies are untouched: their placement is a pure
+        function of the score array, so a restart reproduces it
+        immediately.  Dynamic policies return to the cold initial
+        state and re-learn (or are re-warmed from a snapshot via
+        :meth:`restore`)."""
+        if not self.enabled or not self.dynamic:
+            return
+        self._tier[:] = _COLD
+        self._clock = 0
+        self._score[:] = 0
+        self._hot_ids = np.empty(0, dtype=np.int64)
+        self._warm_ids = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
     # The lookup fast path
     # ------------------------------------------------------------------
     def lookup(self, vertices):

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.errors import CheckpointError, ReproError
+from repro.errors import CheckpointError, CheckpointIntegrityError, \
+    ReproError
 from repro.faults import Checkpointer
 
 
@@ -40,7 +41,15 @@ class TestRoundTrip:
 
     def test_no_temp_files_left_behind(self, ckpt, tmp_path):
         ckpt.save(sample_state())
-        assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt"]
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            ["run.ckpt", "run.ckpt.sha256"]
+
+    def test_second_save_rotates_previous(self, ckpt, tmp_path):
+        ckpt.save({"epoch": 1})
+        ckpt.save({"epoch": 2})
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            ["run.ckpt", "run.ckpt.prev", "run.ckpt.prev.sha256",
+             "run.ckpt.sha256"]
 
     def test_creates_parent_directories(self, tmp_path):
         nested = Checkpointer(tmp_path / "a" / "b" / "run.ckpt")
@@ -107,3 +116,69 @@ class TestIntegrity:
 
     def test_checkpoint_error_is_repro_error(self):
         assert issubclass(CheckpointError, ReproError)
+        assert issubclass(CheckpointIntegrityError, CheckpointError)
+
+
+class TestSidecarCommit:
+    """The checksum sidecar is written last and acts as the commit
+    record; anything short of a fully-committed pair is rejected with a
+    typed error and recovery falls back to the previous checkpoint."""
+
+    def test_missing_sidecar_is_integrity_error(self, ckpt):
+        ckpt.save(sample_state())
+        ckpt.sidecar_path.unlink()
+        with pytest.raises(CheckpointIntegrityError, match="sidecar"):
+            ckpt.load()
+
+    def test_truncated_sidecar_mid_write(self, ckpt):
+        """Simulates dying halfway through the sidecar write: a partial
+        digest must not pass verification."""
+        ckpt.save(sample_state())
+        raw = ckpt.sidecar_path.read_bytes()
+        ckpt.sidecar_path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointIntegrityError, match="sidecar"):
+            ckpt.load()
+
+    def test_stale_sidecar_is_integrity_error(self, ckpt):
+        ckpt.save({"epoch": 1})
+        stale = ckpt.sidecar_path.read_bytes()
+        ckpt.save({"epoch": 2})
+        ckpt.sidecar_path.write_bytes(stale)
+        with pytest.raises(CheckpointIntegrityError, match="sidecar"):
+            ckpt.load()
+
+    def test_load_latest_falls_back_to_previous(self, ckpt):
+        ckpt.save({"epoch": 1})
+        ckpt.save({"epoch": 2})
+        # Kill the newest generation mid-commit: payload replaced but
+        # sidecar never written.
+        ckpt.sidecar_path.unlink()
+        with pytest.raises(CheckpointIntegrityError):
+            ckpt.load()
+        assert ckpt.load_latest()["epoch"] == 1
+
+    def test_load_latest_prefers_current_when_valid(self, ckpt):
+        ckpt.save({"epoch": 1})
+        ckpt.save({"epoch": 2})
+        assert ckpt.load_latest()["epoch"] == 2
+
+    def test_load_latest_without_fallback_reraises(self, ckpt):
+        ckpt.save({"epoch": 1})
+        ckpt.sidecar_path.unlink()
+        with pytest.raises(CheckpointIntegrityError, match="sidecar"):
+            ckpt.load_latest()
+
+    def test_load_latest_with_bad_fallback_reraises_original(self,
+                                                             ckpt):
+        ckpt.save({"epoch": 1})
+        ckpt.save({"epoch": 2})
+        ckpt.sidecar_path.unlink()
+        ckpt.previous_path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointIntegrityError, match="sidecar"):
+            ckpt.load_latest()
+
+    def test_delete_removes_sidecar_and_fallback(self, ckpt, tmp_path):
+        ckpt.save({"epoch": 1})
+        ckpt.save({"epoch": 2})
+        ckpt.delete()
+        assert list(tmp_path.iterdir()) == []

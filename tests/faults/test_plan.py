@@ -162,3 +162,43 @@ class TestFaultInjector:
     def test_injector_rejects_non_plan(self):
         with pytest.raises(FaultError):
             FaultInjector(42)
+
+
+class TestFractionalTimes:
+    """The grammar serves two clocks: integer epochs (training) and
+    fractional seconds (the fleet).  Parsing accepts both; the
+    training injector rejects the fractional ones."""
+
+    def test_parse_keeps_fractional_seconds(self):
+        plan = FaultPlan.parse("crash@0.0015+0.002:w1")
+        (event,) = list(plan)
+        assert event.epoch == pytest.approx(0.0015)
+        assert event.duration == pytest.approx(0.002)
+        assert event.worker == 1
+
+    def test_integral_times_parse_as_ints(self):
+        (event,) = list(FaultPlan.parse("crash@3+2:w0"))
+        assert event.epoch == 3 and isinstance(event.epoch, int)
+        assert event.duration == 2
+
+    def test_injector_rejects_fractional_epoch(self):
+        plan = FaultPlan.parse("crash@0.5+1:w0")
+        with pytest.raises(FaultError, match="fractional times"):
+            FaultInjector(plan)
+
+    def test_injector_rejects_fractional_duration(self):
+        plan = FaultPlan.parse("straggler@2+0.5:w0:x4")
+        with pytest.raises(FaultError, match="fractional times"):
+            FaultInjector(plan)
+
+    def test_injector_accepts_integral_floats(self):
+        # 2.0 == int(2.0): integral floats are fine on the epoch clock.
+        plan = FaultPlan(events=(
+            FaultEvent(kind="crash", epoch=2.0, worker=0,
+                       duration=1.0),))
+        FaultInjector(plan)
+
+    def test_fractional_describe_round_trips(self):
+        spec = "straggler@0.001+0.004:w2:x8"
+        (event,) = list(FaultPlan.parse(spec))
+        assert event.describe() == spec

@@ -1,0 +1,462 @@
+"""The fleet resilience layer: detector math, breaker transitions,
+fleet schedules, crash recovery, and the engine-level guarantees
+(k=1 / resilience-off reduce to the baseline bit-for-bit; hedging,
+budgets, and recovery actually run when configured)."""
+
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro import load_dataset
+from repro.errors import (CheckpointError, FaultError, FleetError,
+                          TransferError)
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.fleet import (BreakerPolicy, CircuitBreaker, DetectorPolicy,
+                         FailureDetector, FleetEngine, FleetSchedule,
+                         HedgePolicy, ReplicaRecovery, ResiliencePolicy,
+                         RoutingPolicy)
+from repro.nn import build_model
+from repro.serve import BatchPolicy, LayerwiseEmbeddings, \
+    LoadGenerator, ServeEngine
+from repro.transfer.tiered import TieredCache
+
+POLICY = BatchPolicy(max_batch_size=16, max_wait=0.002)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_dataset("ogb-arxiv", scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def model(data):
+    return build_model("gcn", data.feature_dim, data.num_classes,
+                       rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="module")
+def embeddings(data, model):
+    return LayerwiseEmbeddings(model, data.graph, data.features)
+
+
+@pytest.fixture(scope="module")
+def trace(data):
+    return LoadGenerator(data.test_ids, rate=20000.0,
+                         num_requests=200, seed=1, skew=0.8).generate()
+
+
+def answers(report):
+    return {r.request.request_id: (r.prediction, r.completion)
+            for r in report.responses}
+
+
+# ----------------------------------------------------------------------
+# Failure detection
+# ----------------------------------------------------------------------
+class TestDetectorPolicy:
+    def test_suspect_delay_is_accrual_formula(self):
+        policy = DetectorPolicy(heartbeat_interval=2e-4,
+                                suspect_phi=2.0, dead_phi=4.0)
+        assert policy.suspect_delay == pytest.approx(
+            2.0 * math.log(10.0) * 2e-4)
+        assert policy.dead_delay == pytest.approx(
+            4.0 * math.log(10.0) * 2e-4)
+        assert policy.dead_delay > policy.suspect_delay
+
+    def test_default_suspicion_beats_retry_timeout(self):
+        # The whole point: suspicion lands an order of magnitude
+        # before the 10 ms retry timeout.
+        assert DetectorPolicy().suspect_delay < 0.01 / 5
+
+    def test_validation(self):
+        with pytest.raises(FleetError, match="heartbeat_interval"):
+            DetectorPolicy(heartbeat_interval=0.0)
+        with pytest.raises(FleetError, match="suspect_phi"):
+            DetectorPolicy(suspect_phi=0.0)
+        with pytest.raises(FleetError, match="dead_phi"):
+            DetectorPolicy(suspect_phi=3.0, dead_phi=3.0)
+
+
+class TestFailureDetector:
+    def test_last_heartbeat_is_latest_multiple(self):
+        detector = FailureDetector(
+            DetectorPolicy(heartbeat_interval=2e-4), 2)
+        assert detector.last_heartbeat(0, 1.05e-3) \
+            == pytest.approx(1.0e-3)
+        assert detector.last_heartbeat(0, 2e-4) == pytest.approx(2e-4)
+        assert detector.last_heartbeat(0, 0.0) == 0.0
+
+    def test_heartbeat_re_anchors(self):
+        detector = FailureDetector(
+            DetectorPolicy(heartbeat_interval=2e-4), 2)
+        detector.heartbeat(1, 3.3e-4)
+        assert detector.last_heartbeat(1, 6e-4) \
+            == pytest.approx(5.3e-4)
+
+    def test_suspect_at_follows_crash(self):
+        policy = DetectorPolicy(heartbeat_interval=2e-4)
+        detector = FailureDetector(policy, 1)
+        crash = 1.05e-3
+        when = detector.suspect_at(0, crash)
+        # Last beat at 1.0 ms, suspicion = last beat + suspect delay,
+        # never before the crash itself.
+        assert when == pytest.approx(1.0e-3 + policy.suspect_delay)
+        assert when >= crash
+        assert detector.dead_at(0, crash) > when
+        assert detector.mean_detection_delay \
+            == pytest.approx(when - crash)
+
+    def test_mean_detection_delay_none_without_crashes(self):
+        detector = FailureDetector(DetectorPolicy(), 3)
+        assert detector.mean_detection_delay is None
+
+
+# ----------------------------------------------------------------------
+# Circuit breaking
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_lifecycle(self):
+        breaker = CircuitBreaker(BreakerPolicy(reset_timeout=1e-3,
+                                               half_open_successes=2))
+        assert breaker.state == "closed"
+        assert breaker.allows(0.0)
+
+        breaker.trip(1.0)
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allows(1.0005)
+
+        # reset_timeout elapses: the next query flips to half-open.
+        assert breaker.allows(1.0011)
+        assert breaker.state == "half-open"
+        assert breaker.half_opens == 1
+
+        breaker.record_success(1.002)
+        assert breaker.state == "half-open"
+        breaker.record_success(1.003)
+        assert breaker.state == "closed"
+
+    def test_retrip_while_open_counts_once(self):
+        breaker = CircuitBreaker(BreakerPolicy())
+        breaker.trip(0.0)
+        breaker.trip(0.001)
+        assert breaker.trips == 1
+
+    def test_success_in_closed_is_noop(self):
+        breaker = CircuitBreaker(BreakerPolicy())
+        breaker.record_success(0.5)
+        assert breaker.state == "closed"
+
+    def test_validation(self):
+        with pytest.raises(FleetError, match="reset_timeout"):
+            BreakerPolicy(reset_timeout=0.0)
+        with pytest.raises(FleetError, match="half_open_successes"):
+            BreakerPolicy(half_open_successes=0)
+
+
+class TestPolicyValidation:
+    def test_hedge_policy(self):
+        with pytest.raises(FleetError, match="delay_quantile"):
+            HedgePolicy(delay_quantile=100.0)
+        with pytest.raises(FleetError, match="min_delay"):
+            HedgePolicy(min_delay=0.0)
+        with pytest.raises(FleetError, match="min_observations"):
+            HedgePolicy(min_observations=0)
+
+    def test_resilience_policy_budget(self):
+        with pytest.raises(FleetError, match="retry_budget"):
+            ResiliencePolicy(retry_budget=0)
+
+    def test_members_default_on_and_none_disables(self):
+        policy = ResiliencePolicy()
+        assert policy.detector is not None
+        assert policy.breaker is not None
+        assert policy.hedge is not None
+        bare = ResiliencePolicy(detector=None, breaker=None, hedge=None)
+        assert bare.detector is None and bare.hedge is None
+
+
+# ----------------------------------------------------------------------
+# Fleet schedules (the shared fault grammar, seconds clock)
+# ----------------------------------------------------------------------
+class TestFleetSchedule:
+    def test_compiles_spec_string(self):
+        schedule = FleetSchedule(
+            "crash@0.001+0.002:w0,straggler@0.001+0.004:w1:x8,"
+            "slowlink@0.002+0.002:x0.5", 4)
+        assert schedule.crashes == [(0.001, 0, 0.002)]
+        assert schedule.multipliers(1, 0.003) == (8.0, 0.5)
+        assert schedule.multipliers(1, 0.006) == (1.0, 1.0)
+        assert schedule.multipliers(2, 0.003) == (1.0, 0.5)
+
+    def test_windows_are_half_open(self):
+        schedule = FleetSchedule("straggler@0.001+0.002:w0:x4", 2)
+        assert schedule.multipliers(0, 0.001) == (4.0, 1.0)
+        assert schedule.multipliers(0, 0.003) == (1.0, 1.0)
+
+    def test_rejects_training_only_kinds(self):
+        with pytest.raises(FaultError, match="training-only"):
+            FleetSchedule("halt@2", 4)
+        with pytest.raises(FaultError, match="training-only"):
+            FleetSchedule("flaky@0+2:w0:p0.3", 4)
+
+    def test_rejects_out_of_range_replica(self):
+        with pytest.raises(FleetError, match="replica 7"):
+            FleetSchedule("crash@0.001+0.001:w7", 4)
+
+    def test_describe_and_plan_passthrough(self):
+        plan = FaultPlan.parse("crash@0.001+0.002:w0")
+        schedule = FleetSchedule(plan, 2)
+        assert schedule.plan is plan
+        assert "crash@0.001" in schedule.describe()
+        assert len(schedule) == 1
+
+    def test_needs_plan_or_spec(self):
+        with pytest.raises(FaultError, match="FaultPlan or spec"):
+            FleetSchedule(42, 4)
+
+
+# ----------------------------------------------------------------------
+# Crash recovery (checkpointer-backed cache snapshots)
+# ----------------------------------------------------------------------
+def _stub_replica(replica_id, cache):
+    return SimpleNamespace(replica_id=replica_id,
+                           executor=SimpleNamespace(cache=cache))
+
+
+def _warmed_cache(num_vertices=32, lookups=3):
+    cache = TieredCache(num_vertices, hot_capacity=4, warm_capacity=4,
+                        policy="lfu")
+    for _ in range(lookups):
+        cache.lookup(np.arange(8))
+    return cache
+
+
+class TestReplicaRecovery:
+    def test_round_trip_restores_residency(self, tmp_path):
+        recovery = ReplicaRecovery(tmp_path)
+        cache = _warmed_cache()
+        replica = _stub_replica(0, cache)
+        reference = cache.snapshot()
+        assert recovery.save(replica, clock=0.002)
+        assert recovery.snapshots == 1
+
+        cache.evict_all()
+        assert cache.residency() == {"hot": 0, "warm": 0}
+        assert recovery.restore(replica)
+        restored = cache.snapshot()
+        assert np.array_equal(restored["tier"], reference["tier"])
+        assert np.array_equal(restored["hot_ids"],
+                              reference["hot_ids"])
+        assert restored["clock"] == reference["clock"]
+        assert recovery.recoveries == 1
+        assert recovery.cold_recoveries == 0
+
+    def test_cold_recovery_without_snapshot(self, tmp_path):
+        recovery = ReplicaRecovery(tmp_path)
+        replica = _stub_replica(1, _warmed_cache())
+        assert not recovery.restore(replica)
+        assert recovery.cold_recoveries == 1
+
+    def test_non_tiered_cache_is_noop(self, tmp_path):
+        recovery = ReplicaRecovery(tmp_path)
+        replica = _stub_replica(0, None)
+        assert not recovery.save(replica, clock=0.0)
+        assert not recovery.restore(replica)
+        assert recovery.snapshots == 0
+
+    def test_per_replica_files_are_separate(self, tmp_path):
+        recovery = ReplicaRecovery(tmp_path)
+        recovery.save(_stub_replica(0, _warmed_cache()), clock=0.0)
+        recovery.save(_stub_replica(1, _warmed_cache()), clock=0.0)
+        assert (tmp_path / "replica-0.ckpt").exists()
+        assert (tmp_path / "replica-1.ckpt").exists()
+
+    def test_snapshot_interval_validated(self, tmp_path):
+        with pytest.raises(FleetError, match="snapshot_interval"):
+            ReplicaRecovery(tmp_path, snapshot_interval=0.0)
+
+    def test_mismatched_snapshot_refused(self):
+        cache = _warmed_cache()
+        other = TieredCache(32, hot_capacity=2, warm_capacity=2,
+                            policy="lru")
+        with pytest.raises(TransferError, match="does not match"):
+            other.restore(cache.snapshot())
+
+    def test_load_latest_error_is_checkpoint_error(self, tmp_path):
+        # The recovery layer catches CheckpointError; make sure the
+        # missing-file path actually raises that family.
+        from repro.faults import Checkpointer
+        with pytest.raises(CheckpointError):
+            Checkpointer(tmp_path / "none.ckpt").load_latest()
+
+
+# ----------------------------------------------------------------------
+# Engine-level guarantees
+# ----------------------------------------------------------------------
+class TestBaselineReduction:
+    def test_replication_one_is_identity(self, data, model,
+                                         embeddings, trace):
+        """k=1 must reproduce the single-owner fleet bit-for-bit."""
+        def run(**kwargs):
+            return FleetEngine(
+                data, model, partition="metis-v", num_replicas=4,
+                mode="precomputed", policy=POLICY,
+                embeddings=embeddings, seed=3, **kwargs).run(trace)
+
+        base, k1 = run(), run(replication=1)
+        assert answers(base) == answers(k1)
+        assert base.to_dict() == k1.to_dict()
+
+    def test_schedule_matches_legacy_crashes(self, data, model,
+                                             embeddings, trace):
+        """A crash driven through a FleetSchedule must be bit-identical
+        to the legacy crashes= path (PR 7 parity)."""
+        mid = trace[len(trace) // 3].arrival
+        common = dict(partition="metis-v", num_replicas=4,
+                      mode="precomputed", policy=POLICY,
+                      embeddings=embeddings, seed=2,
+                      routing=RoutingPolicy(spill_threshold=32))
+        legacy = FleetEngine(data, model,
+                             crashes=[(mid, 0, 0.05)],
+                             **common).run(trace)
+        plan = FaultPlan(events=(
+            FaultEvent(kind="crash", epoch=mid, worker=0,
+                       duration=0.05),))
+        scheduled = FleetEngine(data, model, schedule=plan,
+                                **common).run(trace)
+        assert answers(legacy) == answers(scheduled)
+        assert legacy.to_dict() == scheduled.to_dict()
+
+    def test_replication_validated(self, data, model, embeddings):
+        with pytest.raises(FleetError, match="replication"):
+            FleetEngine(data, model, partition="metis-v",
+                        num_replicas=4, mode="precomputed",
+                        embeddings=embeddings, replication=5)
+
+
+class TestResilientRuns:
+    def test_detector_reroutes_before_timeout(self, data, model,
+                                              embeddings, trace):
+        """With the detector on, crash orphans re-enter routing at the
+        suspicion instant — well before the 10 ms retry timeout — and
+        predictions still bit-match the single server."""
+        mid = trace[len(trace) // 3].arrival
+        common = dict(partition="metis-v", num_replicas=4,
+                      mode="precomputed", policy=POLICY,
+                      embeddings=embeddings, seed=2,
+                      routing=RoutingPolicy(spill_threshold=32))
+        baseline = FleetEngine(data, model,
+                               crashes=[(mid, 0, 0.05)],
+                               **common).run(trace)
+        resilient = FleetEngine(
+            data, model, crashes=[(mid, 0, 0.05)], replication=2,
+            resilience=ResiliencePolicy(hedge=None),
+            **common).run(trace)
+
+        single = ServeEngine(data, model, mode="precomputed",
+                             policy=POLICY, embeddings=embeddings,
+                             seed=2)
+        reference = {r.request.request_id: r.prediction
+                     for r in single.run(trace).responses}
+        got = {r.request.request_id: r.prediction
+               for r in resilient.responses}
+        assert all(reference[rid] == p for rid, p in got.items())
+
+        stats = resilient.resilience
+        assert stats["suspicions"] == 1
+        assert stats["mean_detection_delay"] < 0.01
+        assert stats["breaker_trips"] == 1
+        # Orphans finish sooner than under the timeout-only baseline.
+        assert resilient.latency_max < baseline.latency_max
+
+    def test_backup_serving_billed_locally(self, data, model,
+                                           embeddings, trace):
+        """With k=2, requests failing over to a backup holder are
+        served from its local replica rows."""
+        mid = trace[len(trace) // 3].arrival
+        report = FleetEngine(
+            data, model, partition="metis-v", num_replicas=4,
+            mode="precomputed", policy=POLICY, embeddings=embeddings,
+            seed=2, routing=RoutingPolicy(spill_threshold=32),
+            crashes=[(mid, 0, 0.05)], replication=2,
+            resilience=ResiliencePolicy(hedge=None)).run(trace)
+        assert report.replication_factor == pytest.approx(2.0)
+        assert report.resilience["backup_routed"] > 0
+
+    def test_retry_budget_drops_cascading_orphans(self, data, model,
+                                                  embeddings, trace):
+        """Two cascading crashes bounce the same orphans twice; a
+        budget of 1 drops them instead of amplifying retries."""
+        mid = trace[len(trace) // 3].arrival
+        report = FleetEngine(
+            data, model, partition="metis-v", num_replicas=2,
+            mode="precomputed", policy=POLICY, embeddings=embeddings,
+            seed=2, routing=RoutingPolicy(spill_threshold=32),
+            # The second crash lands ~0.3 ms after the detector
+            # re-routes the first crash's orphans (suspicion at
+            # ~0.92 ms) — while they are still queued on replica 1.
+            crashes=[(mid, 0, 0.05), (mid + 0.0012, 1, 0.05)],
+            resilience=ResiliencePolicy(hedge=None, retry_budget=1),
+        ).run(trace)
+        stats = report.resilience
+        assert stats["retry_budget_drops"] > 0
+        assert report.dropped >= stats["retry_budget_drops"]
+        assert len(report.dropped_request_ids) == report.dropped
+        assert report.rejected >= report.dropped
+        assert report.completed + report.rejected >= len(trace)
+
+    def test_recovery_snapshots_and_restores(self, data, model,
+                                             embeddings, trace,
+                                             tmp_path):
+        mid = trace[len(trace) // 3].arrival
+        report = FleetEngine(
+            data, model, partition="metis-v", num_replicas=4,
+            mode="precomputed", policy=POLICY, embeddings=embeddings,
+            cache_policy="lfu", cache_ratio=0.1, warm_ratio=0.1,
+            seed=2, routing=RoutingPolicy(spill_threshold=32),
+            crashes=[(mid, 0, 0.01)], replication=2,
+            resilience=ResiliencePolicy(hedge=None),
+            recovery=ReplicaRecovery(tmp_path,
+                                     snapshot_interval=0.002),
+        ).run(trace)
+        stats = report.resilience
+        assert stats["snapshots"] > 0
+        assert stats["recoveries"] == 1
+        assert report.completed + report.rejected >= len(trace)
+
+    def test_hedging_launches_and_wins(self, data, model, embeddings):
+        """Under a straggler window, hedge twins launch on healthy
+        replicas and some beat the slow primary."""
+        heavy = LoadGenerator(data.test_ids, rate=60000.0,
+                              num_requests=400, seed=0,
+                              skew=0.8).generate()
+        span = heavy[-1].arrival
+        plan = ",".join(
+            f"straggler@{0.1 * span + i * 0.2 * span:.6f}"
+            f"+{0.2 * span:.6f}:w{i}:x8" for i in range(4))
+        report = FleetEngine(
+            data, model, partition="metis-v", num_replicas=4,
+            mode="precomputed",
+            policy=BatchPolicy(max_batch_size=16, max_wait=0.0005),
+            embeddings=embeddings, seed=0,
+            routing=RoutingPolicy(spill_threshold=64,
+                                  remote_penalty=8.0),
+            schedule=plan, replication=2,
+            resilience=ResiliencePolicy()).run(heavy)
+        stats = report.resilience
+        assert stats["hedges_launched"] > 0
+        assert stats["hedges_won"] > 0
+        assert stats["hedges_won"] <= stats["hedges_launched"]
+        # Every request answered exactly once despite duplication.
+        assert report.completed == len(heavy)
+        ids = [r.request.request_id for r in report.responses]
+        assert len(ids) == len(set(ids))
+
+    def test_resilience_type_validated(self, data, model, embeddings):
+        with pytest.raises(FleetError, match="ResiliencePolicy"):
+            FleetEngine(data, model, partition="metis-v",
+                        num_replicas=2, mode="precomputed",
+                        embeddings=embeddings, resilience="yes")

@@ -185,3 +185,156 @@ class TestAutoscaler:
     def test_min_replicas_cannot_exceed_fleet(self):
         with pytest.raises(FleetError):
             self.make([0, 0], min_replicas=3)
+
+
+class ReplicatedStubShards(StubShards):
+    """StubShards plus k-redundant holders: owner + cyclic successors
+    (mirrors partition.replication's placement)."""
+
+    replicated = True
+
+    def __init__(self, num_shards, k=2):
+        super().__init__(num_shards)
+        self.k = k
+
+    def holders(self, vertex):
+        owner = self.owner(vertex)
+        return [(owner + off) % self.num_shards
+                for off in range(self.k)]
+
+    def backups(self, vertex):
+        return self.holders(vertex)[1:]
+
+
+def make_replicated_router(depths, policy=None, k=2):
+    replicas = [StubReplica(i, d) for i, d in enumerate(depths)]
+    router = Router(ReplicatedStubShards(len(depths), k=k), replicas,
+                    policy)
+    return router, replicas
+
+
+class TestReplicatedRouting:
+    def test_dead_owner_fails_over_to_backup(self):
+        policy = RoutingPolicy(remote_penalty=8.0)
+        router, replicas = make_replicated_router([0, 5, 2, 2], policy)
+        replicas[0].alive = False
+        # vertex 0: owner 0 (dead), backup 1.  Penalized costs:
+        # r1 (holder, exempt) 5; r2/r3 2+8=10 -> the backup wins even
+        # with the deepest queue among survivors.
+        replica, is_owner = router.route(request(vertex=0))
+        assert replica is replicas[1]
+        assert not is_owner
+        assert router.failovers == 1
+        assert router.backup_routed == 1
+
+    def test_draining_owner_fails_over_to_backup(self):
+        policy = RoutingPolicy(remote_penalty=8.0)
+        router, replicas = make_replicated_router([0, 5, 2, 2], policy)
+        replicas[0].draining = True
+        replica, is_owner = router.route(request(vertex=0))
+        assert replica is replicas[1]
+        assert not is_owner
+        assert router.failovers == 1
+        assert router.backup_routed == 1
+
+    def test_backup_exempt_from_penalty_on_spillover(self):
+        policy = RoutingPolicy(spill_threshold=4, remote_penalty=8.0)
+        router, replicas = make_replicated_router([6, 5, 2, 2], policy)
+        # Owner over threshold; costs: owner 6, backup 5 (exempt),
+        # r2/r3 10.  The backup's local copy wins the spill.
+        replica, is_owner = router.route(request(vertex=0))
+        assert replica is replicas[1]
+        assert not is_owner
+        assert router.spillovers == 1
+
+    def test_non_holder_failover_not_counted_as_backup(self):
+        router, replicas = make_replicated_router([0, 9, 0, 0])
+        replicas[0].alive = False
+        replicas[1].alive = False          # the backup too
+        replica, _ = router.route(request(vertex=0))
+        assert replica is replicas[2]
+        assert router.backup_routed == 0
+
+
+class TestBreakerRouting:
+    def make(self, depths, reset_timeout=1e-3):
+        from repro.fleet import BreakerPolicy, CircuitBreaker
+        replicas = [StubReplica(i, d) for i, d in enumerate(depths)]
+        breakers = [CircuitBreaker(BreakerPolicy(
+            reset_timeout=reset_timeout)) for _ in replicas]
+        router = Router(StubShards(len(depths)), replicas,
+                        breakers=breakers)
+        return router, replicas, breakers
+
+    def test_open_breaker_excludes_owner(self):
+        router, replicas, breakers = self.make([0, 3])
+        breakers[0].trip(0.0)
+        replica, is_owner = router.route(request(vertex=0), now=5e-4)
+        assert replica is replicas[1]
+        assert not is_owner
+        assert router.failovers == 1
+
+    def test_half_open_probe_after_reset_timeout(self):
+        router, replicas, breakers = self.make([0, 3],
+                                               reset_timeout=1e-3)
+        breakers[0].trip(0.0)
+        replica, is_owner = router.route(request(vertex=0), now=1.5e-3)
+        assert replica is replicas[0]
+        assert is_owner
+        assert breakers[0].state == "half-open"
+
+    def test_all_breakers_open_is_unroutable(self):
+        router, replicas, breakers = self.make([0, 0])
+        for breaker in breakers:
+            breaker.trip(0.0)
+        with pytest.raises(FleetError, match="unroutable"):
+            router.route(request(vertex=0), now=1e-4)
+
+
+class TestRouteHedge:
+    def test_excludes_assigned_replicas(self):
+        router, replicas = make_replicated_router([0, 5, 2, 2])
+        hedged = router.route_hedge(request(vertex=0), exclude={0})
+        assert hedged is not None
+        replica, is_owner = hedged
+        assert replica.replica_id != 0
+        assert not is_owner
+        # vertex 0's backup (r1) is penalty-exempt: 5 vs 2+8.
+        assert replica is replicas[1]
+        assert router.backup_routed == 1
+
+    def test_none_when_no_distinct_replica(self):
+        router, replicas = make_replicated_router([0, 0], k=2)
+        assert router.route_hedge(request(vertex=0),
+                                  exclude={0, 1}) is None
+
+    def test_skips_dead_candidates(self):
+        router, replicas = make_replicated_router([0, 0, 1, 2])
+        replicas[1].alive = False
+        replica, _ = router.route_hedge(request(vertex=0), exclude={0})
+        assert replica is replicas[2]
+
+    def test_hedge_never_raises_when_empty(self):
+        router, replicas = make_router([0, 0])
+        for replica in replicas:
+            replica.alive = False
+        assert router.route_hedge(request(vertex=0),
+                                  exclude=set()) is None
+
+
+class TestAutoscalerReplace:
+    def test_activates_standby_for_dead_replica(self):
+        replicas = [StubReplica(0), StubReplica(1)]
+        scaler = Autoscaler(AutoscalePolicy(min_replicas=1), replicas)
+        assert not replicas[1].active
+        replicas[0].alive = False
+        assert scaler.replace(clock=0.002, dead_id=0)
+        assert replicas[1].active
+        assert scaler.events[-1] == (0.002, "replace", 1, 0.0)
+        assert scaler.active_max == 2
+
+    def test_false_when_no_standby_left(self):
+        replicas = [StubReplica(0), StubReplica(1)]
+        scaler = Autoscaler(AutoscalePolicy(min_replicas=2), replicas)
+        replicas[0].alive = False
+        assert not scaler.replace(clock=0.002, dead_id=0)

@@ -90,3 +90,82 @@ class TestReplication:
     def test_invalid_budget(self, dataset, partition, sampler):
         with pytest.raises(PartitionError):
             partition_aware_replication(dataset, partition, sampler, 1.5)
+
+
+class TestKRedundant:
+    """Ownership invariants of the fleet's k-redundant placement:
+    every vertex keeps exactly one primary owner and gains k-1
+    distinct backup holders, whatever partitioner produced the
+    ownership."""
+
+    @pytest.fixture(scope="class")
+    def partitions(self, dataset):
+        from repro.core import make_partitioner
+        names = ["hash", "hash-edge", "metis-v", "stream-v", "stream-b"]
+        return {name: make_partitioner(name).partition(
+                    dataset.graph, 4, split=dataset.split,
+                    rng=np.random.default_rng(0))
+                for name in names}
+
+    @pytest.mark.parametrize("name", ["hash", "hash-edge", "metis-v",
+                                      "stream-v", "stream-b"])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_exactly_k_distinct_holders(self, partitions, name, k):
+        from repro.partition import k_redundant_replication
+        base = partitions[name]
+        replicated = k_redundant_replication(base, k)
+        n = base.num_vertices
+        vertex_ids = np.arange(n)
+        # At least k holders per vertex (the boolean matrix makes the
+        # holders distinct by construction); exactly k when the base
+        # partitioner carried no replicas of its own (stream-v caches
+        # L-hop neighborhoods, which the union preserves).
+        holders_per_vertex = replicated.replicas.sum(axis=0)
+        assert np.all(holders_per_vertex >= k)
+        if base.replicas is None:
+            assert np.all(holders_per_vertex == k)
+        # The primary owner is unchanged and always a holder.
+        assert np.array_equal(replicated.assignment, base.assignment)
+        assert replicated.replicas[replicated.assignment,
+                                   vertex_ids].all()
+        # Backups are the k-1 cyclic successors - never the owner.
+        for offset in range(1, k):
+            successors = (base.assignment + offset) % base.num_parts
+            assert replicated.replicas[successors, vertex_ids].all()
+            assert not np.any(successors == base.assignment)
+        assert replicated.method == f"{base.method}+k{k}"
+        if base.replicas is None:
+            assert replicated.replication_factor() == pytest.approx(
+                float(k))
+
+    def test_k1_is_identity_placement(self, partition):
+        from repro.partition import k_redundant_replication
+        replicated = k_redundant_replication(partition, 1)
+        assert np.all(replicated.replicas.sum(axis=0) == 1)
+        assert replicated.replication_factor() == pytest.approx(1.0)
+        assert replicated.method.endswith("+k1")
+
+    def test_full_replication_at_k_equals_parts(self, partition):
+        from repro.partition import k_redundant_replication
+        replicated = k_redundant_replication(partition, 4)
+        assert replicated.replicas.all()
+
+    def test_unions_preexisting_replicas(self, partition):
+        from repro.partition import k_redundant_replication
+        pre = k_redundant_replication(partition, 1)
+        # Hand vertex 0 to a machine that is neither its owner nor
+        # its k=2 backup; the union must keep that extra copy.
+        owner = int(partition.assignment[0])
+        extra = (owner + 2) % partition.num_parts
+        pre.replicas[extra, 0] = True
+        replicated = k_redundant_replication(pre, 2)
+        assert replicated.replicas[extra, 0]
+        assert replicated.replicas[:, 0].sum() == 3
+        assert np.all(replicated.replicas.sum(axis=0) >= 2)
+
+    def test_invalid_k(self, partition):
+        from repro.partition import k_redundant_replication
+        with pytest.raises(PartitionError):
+            k_redundant_replication(partition, 0)
+        with pytest.raises(PartitionError):
+            k_redundant_replication(partition, 5)
