@@ -1,6 +1,6 @@
 # Developer entry points. `make help` lists targets.
 
-.PHONY: help install test lint bench serve-bench fleet-bench cache-bench chaos fleet-chaos examples docs reproduce clean
+.PHONY: help install test lint bench serve-bench fleet-bench cache-bench chaos fleet-chaos kernel-bench examples docs reproduce clean
 
 help:
 	@echo "install     editable install (falls back past missing wheel pkg)"
@@ -12,6 +12,7 @@ help:
 	@echo "cache-bench run the tiered feature-cache benchmark alone"
 	@echo "chaos       run the fault-recovery benchmark alone"
 	@echo "fleet-chaos run the fleet resilience chaos certification"
+	@echo "kernel-bench time sparse-kernel backends vs the reference"
 	@echo "examples    run all runnable examples"
 	@echo "docs        regenerate docs/api.md"
 	@echo "reproduce   write reproduction_report.md from all benchmarks"
@@ -67,6 +68,13 @@ chaos:
 fleet-chaos:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 	  python benchmarks/bench_fleet_chaos.py --sanitize
+
+# Per-backend sparse-kernel timings (repro.kernels registry); merges
+# the kernel_backends rows into BENCH_hotpath.json and fails if no
+# accelerated backend beats the pinned reference on the SpMM.
+kernel-bench:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+	  python -m repro kernel-bench
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

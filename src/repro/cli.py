@@ -29,6 +29,12 @@ Commands
     Run the fleet chaos certification (crash storms, rolling
     stragglers, slowlinks against the resilience layer; availability/
     goodput/p99 gates; see :mod:`repro.fleet.resilience`).
+``kernel-bench``
+    Time every sparse-kernel backend (:mod:`repro.kernels`) against
+    the pinned numpy reference and merge the per-backend rows into
+    ``BENCH_hotpath.json``; byte-identity vs the reference is checked
+    on the same run.  Exits nonzero if no accelerated backend beats
+    the reference on the SpMM microbench.
 ``lint``
     Run the determinism & numerics static-analysis pass (rule ids
     ``RPRnnn``, baseline grandfathering, text/JSON reports; see
@@ -325,6 +331,18 @@ def build_parser():
                         help="arm the runtime sanitizers for the "
                              "benchmark run")
     fchaos.add_argument("--out", default="BENCH_fleet_chaos.json")
+
+    kbench = sub.add_parser(
+        "kernel-bench",
+        help="time every sparse-kernel backend against the pinned "
+             "reference (bit-identity checked on the same run)")
+    kbench.add_argument("--seed", type=int, default=7)
+    kbench.add_argument("--quick", action="store_true",
+                        help="small smoke-test workload")
+    kbench.add_argument("--out", default=None,
+                        help="benchmark ledger to merge the "
+                             "kernel_backends rows into (default: the "
+                             "repo's BENCH_hotpath.json)")
 
     lint = sub.add_parser(
         "lint",
@@ -729,6 +747,26 @@ def _cmd_fleet_chaos(args):
     return 0 if all(report["gates"].values()) else 1
 
 
+def _cmd_kernel_bench(args):
+    from .kernels.bench import (HOTPATH_PATH, format_report,
+                                merge_into_hotpath, run_kernel_bench)
+
+    results = run_kernel_bench(quick=args.quick, seed=args.seed)
+    print(format_report(results))
+    out = merge_into_hotpath(
+        results, path=args.out if args.out else HOTPATH_PATH)
+    print(f"merged kernel_backends into {out} "
+          f"(auto backend: {results['auto_backend']})")
+    spmm = results["spmm"]
+    accelerated = [name for name in spmm["backends"]
+                   if name != "reference"]
+    if accelerated and spmm["best_speedup"] <= 1.0:
+        print("gate spmm_speedup: VIOLATED (no accelerated backend "
+              "beat the reference)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args):
     # Imported lazily: the analysis layer is light, but the lint
     # command must never become a reason cli startup grows heavier.
@@ -779,7 +817,8 @@ def main(argv=None):
                 "advise": _cmd_advise, "reproduce": _cmd_reproduce,
                 "serve-bench": _cmd_serve_bench,
                 "fleet-bench": _cmd_fleet_bench, "chaos": _cmd_chaos,
-                "fleet-chaos": _cmd_fleet_chaos, "lint": _cmd_lint}
+                "fleet-chaos": _cmd_fleet_chaos,
+                "kernel-bench": _cmd_kernel_bench, "lint": _cmd_lint}
     return handlers[args.command](args)
 
 

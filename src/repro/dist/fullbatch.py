@@ -25,7 +25,11 @@ staleness is measured, not assumed.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
+
+try:  # full-batch training needs scipy; sampled paths do not.
+    import scipy.sparse as sp
+except ImportError:  # pragma: no cover - exercised by the no-scipy CI job
+    sp = None
 
 from ..errors import TrainingError
 from ..nn import Tensor, softmax_cross_entropy
@@ -37,6 +41,10 @@ __all__ = ["FullGraphGCN", "FullBatchEngine", "full_aggregation_matrix"]
 
 def full_aggregation_matrix(graph, self_loops=True):
     """Row-normalized (mean) aggregation operator of the whole graph."""
+    if sp is None:
+        raise TrainingError(
+            "full-graph aggregation requires scipy; the sampled "
+            "training paths run without it")
     n = graph.num_vertices
     in_indptr, in_indices = graph.in_csr()
     matrix = sp.csr_matrix(

@@ -39,6 +39,12 @@ class TrainingError(ReproError):
     dimensions not matching the dataset, zero batches)."""
 
 
+class KernelError(ReproError):
+    """Raised for invalid sparse-kernel dispatch: unknown backend or
+    op/reduce names, an explicitly requested backend that is not
+    importable, or adjacency/operand shape mismatches."""
+
+
 class TransferError(ReproError):
     """Raised for invalid transfer/cache configurations (negative
     bandwidth, cache larger than feature store, unknown method name)."""

@@ -128,13 +128,9 @@ class CSRGraph:
         if self.is_symmetric:
             return self.indptr, self.indices
         if self._in_indptr is None:
-            order = np.argsort(self.indices, kind="stable")
-            sources = np.repeat(
-                np.arange(self._n, dtype=np.int64), self.out_degrees)
-            self._in_indices = sources[order]
-            counts = np.bincount(self.indices, minlength=self._n)
-            self._in_indptr = np.concatenate(
-                ([0], np.cumsum(counts))).astype(np.int64)
+            from ..kernels.adjacency import transpose_csr
+            self._in_indptr, self._in_indices, _ = transpose_csr(
+                self.indptr, self.indices, num_cols=self._n)
         return self._in_indptr, self._in_indices
 
     def in_csr(self):

@@ -12,7 +12,11 @@ The paper leans on two metrics repeatedly:
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
+
+try:  # clustering metrics need scipy; the rest of the package does not.
+    import scipy.sparse as sp
+except ImportError:  # pragma: no cover - exercised by the no-scipy CI job
+    sp = None
 
 __all__ = [
     "to_scipy",
@@ -27,6 +31,9 @@ __all__ = [
 
 def to_scipy(graph):
     """The graph's adjacency as a ``scipy.sparse.csr_matrix`` of 0/1."""
+    if sp is None:
+        raise ImportError(
+            "graph clustering metrics require scipy")
     n = graph.num_vertices
     data = np.ones(graph.num_edges, dtype=np.float64)
     return sp.csr_matrix((data, graph.indices, graph.indptr), shape=(n, n))

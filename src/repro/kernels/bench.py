@@ -1,0 +1,204 @@
+"""Per-backend sparse-kernel microbenchmarks.
+
+Times every registered-and-available backend on the registry's three
+kernels over one seeded power-law sampled-block workload — the CSR
+mean-aggregation SpMM (GCN/SAGE's hot multiply), the COO edge-score
+SDDMM and the edge softmax (GAT's attention path) — and verifies on
+the same run that each backend's output is *byte-identical* to the
+reference, so a speedup row can never hide a numerics change.
+
+Shared by the ``repro kernel-bench`` CLI command and
+``benchmarks/bench_kernel_backends.py``; both merge the rows into
+``BENCH_hotpath.json`` under the ``kernel_backends`` key (next to the
+block-assembly and sampler rows) via :func:`merge_into_hotpath`.
+
+All timing flows through :func:`repro.perf.profiler.wall_clock` — the
+one sanctioned real-time read (RPR002).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import KernelError
+from ..graph.generators import power_law_graph
+from ..perf import PERF
+from ..perf.profiler import wall_clock
+from ..sampling import build_block
+from ..sampling.base import draw_neighbors
+from .adjacency import KernelCOO, normalized_block_adjacency
+from .registry import (available_backends, edge_softmax_forward,
+                       gsddmm_forward, gspmm_forward, resolve_backend)
+
+__all__ = ["run_kernel_bench", "merge_into_hotpath", "HOTPATH_PATH"]
+
+#: The repo-root benchmark ledger the rows are merged into.
+HOTPATH_PATH = Path(__file__).resolve().parents[3] / "BENCH_hotpath.json"
+
+#: Full-size workload (matches ``bench_hotpath_kernels``'s scale).
+FULL = dict(num_vertices=200_000, avg_degree=16, num_seeds=4096,
+            fanout=15, dim=128, rounds=20)
+
+#: Smoke-size workload for CI and ``--quick``.
+QUICK = dict(num_vertices=20_000, avg_degree=12, num_seeds=512,
+             fanout=10, dim=64, rounds=5)
+
+
+def _best_of(fn, rounds):
+    """Best (minimum) wall time of ``rounds`` calls, in seconds."""
+    best = float("inf")
+    for _round in range(rounds):
+        start = wall_clock()
+        fn()
+        best = min(best, wall_clock() - start)
+    return best
+
+
+def _workload(params, seed=7):
+    """One seeded sampled block plus dense operands.
+
+    Returns ``(csr, coo, x, scores)``: the block's normalized
+    aggregation operator, its GAT edge list (self-loops appended),
+    float32 source features, and per-edge attention scores.
+    """
+    rng = np.random.default_rng(seed)
+    graph, _ = power_law_graph(params["num_vertices"],
+                               params["avg_degree"], rng)
+    seeds = rng.choice(params["num_vertices"], params["num_seeds"],
+                       replace=False)
+    counts = np.full(params["num_seeds"], params["fanout"],
+                     dtype=np.int64)
+    edge_dst, edge_src = draw_neighbors(graph, seeds, counts, rng)
+    block = build_block(seeds, edge_dst, edge_src)
+    csr = normalized_block_adjacency(block, self_loops=True)
+
+    dst = np.repeat(np.arange(block.num_dst, dtype=np.int64),
+                    block.degrees())
+    loops = np.arange(block.num_dst, dtype=np.int64)
+    coo = KernelCOO(np.concatenate([dst, loops]),
+                    np.concatenate([block.indices, loops]),
+                    (block.num_dst, block.num_src))
+
+    x = rng.standard_normal((block.num_src, params["dim"])) \
+        .astype(np.float32)
+    scores = rng.standard_normal(coo.nnz).astype(np.float32)
+    return csr, coo, x, scores
+
+
+def _time_backends(kernel, run, reference_out, rounds):
+    """Per-backend timing rows for one kernel.
+
+    ``run(backend_name)`` must return the kernel's output; each
+    backend's bytes are compared against ``reference_out`` so the table
+    doubles as a conformance check.
+    """
+    rows = {}
+    reference_ms = None
+    for name in available_backends():
+        out = run(name)
+        identical = bool(np.asarray(out).tobytes()
+                         == np.asarray(reference_out).tobytes())
+        if not identical:
+            raise KernelError(
+                f"backend {name!r} diverged from the reference on "
+                f"{kernel}")
+        before = PERF.snapshot()
+        elapsed = _best_of(lambda: run(name), rounds)
+        delta = PERF.delta(before)
+        rows[name] = {
+            "ms": elapsed * 1e3,
+            "bit_identical": identical,
+            "fallbacks": int(delta.get("kernel_fallbacks", 0)),
+        }
+        if name == "reference":
+            reference_ms = rows[name]["ms"]
+    for name, row in rows.items():
+        row["speedup"] = reference_ms / row["ms"]
+    return rows
+
+
+def _summarize(kernel, rows, extra):
+    accelerated = {name: row for name, row in rows.items()
+                   if name != "reference" and row["fallbacks"] == 0}
+    best = max(accelerated, key=lambda n: accelerated[n]["speedup"]) \
+        if accelerated else "reference"
+    summary = {"backends": rows, "best_backend": best,
+               "best_speedup": (accelerated[best]["speedup"]
+                                if accelerated else 1.0)}
+    summary.update(extra)
+    return summary
+
+
+def run_kernel_bench(quick=False, seed=7):
+    """Time every available backend on each kernel; returns a
+    JSON-serializable dict of per-backend rows.
+
+    Backends whose output is not byte-identical to the reference abort
+    the run with :class:`~repro.errors.KernelError` — the bench never
+    reports a speedup for different math.
+    """
+    params = dict(QUICK if quick else FULL)
+    csr, coo, x, scores = _workload(params, seed=seed)
+    rounds = params["rounds"]
+
+    spmm_ref = gspmm_forward(csr, x, backend="reference")
+    spmm = _time_backends(
+        "gspmm", lambda name: gspmm_forward(csr, x, backend=name),
+        spmm_ref, rounds)
+
+    q = x[:csr.shape[0], :1]
+    k = x[:, :1]
+    sddmm_ref = gsddmm_forward(coo, q, k, op="add", backend="reference")
+    sddmm = _time_backends(
+        "gsddmm",
+        lambda name: gsddmm_forward(coo, q, k, op="add", backend=name),
+        sddmm_ref, rounds)
+
+    softmax_ref = edge_softmax_forward(coo, scores, backend="reference")
+    softmax = _time_backends(
+        "edge_softmax",
+        lambda name: edge_softmax_forward(coo, scores, backend=name),
+        softmax_ref, rounds)
+
+    return {
+        "workload": {key: int(value) if isinstance(value, int) else value
+                     for key, value in params.items()},
+        "auto_backend": resolve_backend("auto").name,
+        "spmm": _summarize("gspmm", spmm,
+                           {"nnz": csr.nnz, "dim": params["dim"]}),
+        "sddmm": _summarize("gsddmm", sddmm, {"nnz": coo.nnz}),
+        "edge_softmax": _summarize("edge_softmax", softmax,
+                                   {"nnz": coo.nnz}),
+    }
+
+
+def merge_into_hotpath(results, path=HOTPATH_PATH):
+    """Merge the bench rows into ``BENCH_hotpath.json`` under the
+    ``kernel_backends`` key, preserving every other stage's rows."""
+    path = Path(path)
+    existing = json.loads(path.read_text()) if path.exists() else {}
+    existing["kernel_backends"] = results
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True)
+                    + "\n")
+    return path
+
+
+def format_report(results):
+    """Human-readable per-backend table rows (for the CLI)."""
+    from ..core import format_table
+    rows = []
+    for kernel in ("spmm", "sddmm", "edge_softmax"):
+        for name, row in results[kernel]["backends"].items():
+            rows.append({
+                "kernel": kernel,
+                "backend": name,
+                "ms": round(row["ms"], 3),
+                "speedup": round(row["speedup"], 2),
+                "bit_identical": row["bit_identical"],
+                "fallbacks": row["fallbacks"],
+            })
+    return format_table(rows, title="Sparse-kernel backends "
+                                    "(vs pinned reference)")

@@ -1,0 +1,80 @@
+"""Optional numba JIT backend.
+
+Registered only when numba is importable (it is not a dependency of
+this package); every environment without it silently runs the scipy or
+reference backend instead.  The jitted kernels replay the reference's
+sequential per-row accumulation order literally — one float32 add per
+stored entry, in storage order — so the backend is bit-identical to
+the reference by construction, which the conformance matrix verifies
+wherever numba is present.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from ..errors import KernelError
+
+__all__ = ["NumbaBackend"]
+
+
+def _compile_kernels(numba):
+    """Build the jitted kernels once (lazy: first dispatch pays the
+    compile, later calls reuse the cached machine code)."""
+
+    @numba.njit(cache=True)
+    def spmm_csr(indptr, indices, data, x, out, weighted):
+        for i in range(len(indptr) - 1):
+            for e in range(indptr[i], indptr[i + 1]):
+                j = indices[e]
+                if weighted:
+                    v = data[e]
+                    for c in range(x.shape[1]):
+                        out[i, c] += v * x[j, c]
+                else:
+                    for c in range(x.shape[1]):
+                        out[i, c] += x[j, c]
+
+    return spmm_csr
+
+
+class NumbaBackend:
+    """CSR gspmm via numba-jitted sequential loops."""
+
+    name = "numba"
+
+    def __init__(self):
+        self._spmm = None
+        self._checked = False
+
+    def available(self):
+        if not self._checked:
+            self._checked = True
+            try:
+                found = importlib.util.find_spec("numba") is not None
+            except (ImportError, ValueError):
+                found = False
+            if found:
+                import numba
+                self._spmm = _compile_kernels(numba)
+        return self._spmm is not None
+
+    def supports(self, kind, layout, op):
+        return (kind == "gspmm" and layout == "csr"
+                and op in ("mul", "copy_rhs"))
+
+    def gspmm(self, adj, x, values, op):
+        if self._spmm is None:  # pragma: no cover - registry gates this
+            raise KernelError("numba backend selected but numba is "
+                              "not importable")
+        data = adj.data if values is None else values
+        if op == "mul" and data is None:
+            raise KernelError("gspmm op='mul' needs edge values")
+        out = np.zeros((adj.shape[0], x.shape[1]), dtype=x.dtype)
+        self._spmm(adj.indptr, adj.indices,
+                   data if data is not None
+                   else np.empty(0, dtype=x.dtype),
+                   np.ascontiguousarray(x), out, op == "mul")
+        return out

@@ -1,0 +1,63 @@
+"""The scipy.sparse accelerated backend.
+
+Covers the CSR aggregation hot path — ``gspmm`` with ``mul`` /
+``copy_rhs`` — by delegating to scipy's compiled ``csr_matvecs``.  That
+kernel walks each row's stored entries sequentially, exactly the order
+the reference's ``np.add.at`` scatter uses, so the two backends are
+bit-identical, not approximately equal (pinned by ``tests/kernels``).
+
+Everything order-sensitive that scipy has no compiled kernel for — the
+COO layout (GAT's appended self-loop edge order), ``gsddmm``,
+``edge_softmax`` — is declared unsupported, and the registry falls back
+to the reference while counting the fallback.  scipy itself is imported
+lazily on first use: the package (and the reference backend) must work
+on machines without scipy, which the no-scipy CI conformance run
+exercises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+
+__all__ = ["ScipyBackend"]
+
+
+class ScipyBackend:
+    """CSR gspmm via scipy's compiled sparse-dense product."""
+
+    name = "scipy"
+
+    def __init__(self):
+        self._module = None
+        self._checked = False
+
+    def available(self):
+        if not self._checked:
+            self._checked = True
+            try:
+                import scipy.sparse
+            except ImportError:
+                pass
+            else:
+                self._module = scipy.sparse
+        return self._module is not None
+
+    def supports(self, kind, layout, op):
+        return (kind == "gspmm" and layout == "csr"
+                and op in ("mul", "copy_rhs"))
+
+    def gspmm(self, adj, x, values, op):
+        sp = self._module
+        if sp is None:  # pragma: no cover - registry checks available()
+            raise KernelError("scipy backend selected but scipy is "
+                              "not importable")
+        if op == "copy_rhs" or values is not None:
+            data = np.ones(adj.nnz, dtype=x.dtype) \
+                if op == "copy_rhs" else values
+            matrix = sp.csr_matrix((data, adj.indices, adj.indptr),
+                                   shape=adj.shape)
+        else:
+            matrix = adj.to_scipy()
+        return matrix @ x

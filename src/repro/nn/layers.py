@@ -1,19 +1,26 @@
 """Neural network modules: Linear, MLP, GCN and GraphSAGE convolutions.
 
 Graph convolutions operate on *sampled blocks*: each layer receives the
-block's normalized aggregation matrix (``num_dst x num_src`` scipy CSR)
-plus the source features, and produces destination features.  Because
-block sources always start with the destinations (MFG convention), a
-layer can read its destinations' own features as ``h_src[:num_dst]``.
+block's normalized aggregation matrix (``num_dst x num_src``
+:class:`~repro.kernels.KernelCSR`) plus the source features, and
+produces destination features.  Because block sources always start
+with the destinations (MFG convention), a layer can read its
+destinations' own features as ``h_src[:num_dst]``.
+
+Every aggregation dispatches through :mod:`repro.kernels` — the
+mean-aggregation SpMM of GCN/SAGE, and GAT's edge-score SDDMM, edge
+softmax, and attention-weighted SpMM — so the layers hold no sparse
+loops of their own and ``FLAGS.kernel_backend`` selects the engine.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..analysis.sanitize import check_finite
 from ..errors import TrainingError
+from ..kernels import (KernelCOO, edge_softmax, gsddmm, gspmm,
+                       normalized_block_adjacency)
 from ..perf import FLAGS, PERF
 from .init import xavier_uniform, zeros
 from .tensor import Tensor
@@ -176,17 +183,21 @@ class MLP(Module):
 
 
 def block_aggregation_matrix(block, self_loops=True):
-    """The block's normalized aggregation operator as scipy CSR.
+    """The block's normalized aggregation operator as a
+    :class:`~repro.kernels.KernelCSR`.
 
     Mean aggregation over sampled in-neighbors (plus the vertex itself
     when ``self_loops``), i.e. each row sums to 1 — the standard
-    normalization for GCN-style layers on sampled blocks.
+    normalization for GCN-style layers on sampled blocks.  The stored
+    layout is bit-identical to the scipy construction this replaced
+    (see :func:`~repro.kernels.normalized_block_adjacency`).
 
     The operator depends only on the block's structure and
     ``self_loops``, so it is memoized on the block: forward, backward
-    (through spmm's transpose), and repeated evaluations over a cached
-    block all reuse one CSR instead of rebuilding it per call.
-    Consumers must treat the returned matrix as read-only.
+    (through the operator's memoized transpose), and repeated
+    evaluations over a cached block all reuse one CSR instead of
+    rebuilding it per call.  Consumers must treat the returned matrix
+    as read-only.
     """
     cache = getattr(block, "_agg_cache", None) \
         if FLAGS.memoize_aggregation else None
@@ -199,18 +210,7 @@ def block_aggregation_matrix(block, self_loops=True):
         PERF.count("agg_matrix_misses")
 
     with PERF.timed("spmm_build"):
-        rows = np.repeat(np.arange(block.num_dst), block.degrees())
-        cols = block.indices
-        if self_loops:
-            rows = np.concatenate([rows, np.arange(block.num_dst)])
-            cols = np.concatenate([cols, np.arange(block.num_dst)])
-        data = np.ones(len(rows), dtype=np.float32)
-        matrix = sp.csr_matrix((data, (rows, cols)),
-                               shape=(block.num_dst, block.num_src))
-        degree = np.asarray(matrix.sum(axis=1)).ravel()
-        degree[degree == 0] = 1.0
-        scale = sp.diags((1.0 / degree).astype(np.float32))
-        matrix = (scale @ matrix).tocsr()
+        matrix = normalized_block_adjacency(block, self_loops=self_loops)
 
     if cache is not None:
         cache[key] = matrix
@@ -229,7 +229,7 @@ class GCNConv(Module):
 
     def forward(self, adjacency, h_src):
         """Aggregate sources with ``adjacency`` then transform."""
-        aggregated = h_src.spmm(adjacency)
+        aggregated = gspmm(adjacency, h_src)
         return aggregated @ self.weight + self.bias
 
     def forward_block(self, block, h_src):
@@ -260,7 +260,7 @@ class SAGEConv(Module):
         mean-aggregated neighbors."""
         num_dst = adjacency.shape[0]
         h_self = h_src.gather_rows(np.arange(num_dst))
-        aggregated = h_src.spmm(adjacency)
+        aggregated = gspmm(adjacency, h_src)
         out = (h_self @ self.weight_self
                + aggregated @ self.weight_neigh + self.bias)
         if self.normalize:
@@ -327,21 +327,32 @@ class GATConv(Module):
         return edges
 
     def forward_block(self, block, h_src):
-        """Attention-weighted aggregation over the block's edges."""
+        """Attention-weighted aggregation over the block's edges.
+
+        The whole sparse path runs through :mod:`repro.kernels`: the
+        per-edge score is a ``gsddmm`` add over the block's edge list
+        (a :class:`~repro.kernels.KernelCOO`, whose edge *order* —
+        block CSR edges then appended self-loops — is part of the
+        numerical contract), the attention coefficients come from
+        ``edge_softmax``, and the output is an attention-weighted
+        ``gspmm`` over the same edges.
+        """
         edge_dst, edge_src = self._block_edges_with_self_loops(block)
+        edges = KernelCOO(edge_dst, edge_src,
+                          (block.num_dst, block.num_src))
         outputs = []
         for weight, a_src, a_dst in zip(self.weights, self.attn_src,
                                         self.attn_dst):
             transformed = h_src @ weight              # (S, d_head)
             score_src = (transformed @ a_src)         # (S, 1)
-            score_dst = (transformed @ a_dst)
-            scores = (score_src.gather_rows(edge_src)
-                      + score_dst.gather_rows(edge_dst))
-            alpha = scores.reshape(-1).leaky_relu(
-                self.negative_slope).segment_softmax(
-                    edge_dst, num_segments=block.num_dst)
-            outputs.append(Tensor.edge_aggregate(
-                transformed, alpha, edge_dst, edge_src, block.num_dst))
+            # Destinations are the leading block sources (MFG
+            # convention), so the dst-side operand is the leading rows.
+            score_dst = (transformed @ a_dst).gather_rows(
+                np.arange(block.num_dst))             # (D, 1)
+            scores = gsddmm(edges, score_dst, score_src, op="add")
+            alpha = edge_softmax(edges, scores.reshape(-1).leaky_relu(
+                self.negative_slope))
+            outputs.append(gspmm(edges, transformed, values=alpha))
         out = outputs[0]
         for extra in outputs[1:]:
             out = out.concat(extra, axis=1)

@@ -27,7 +27,11 @@ The classic three phases are implemented directly:
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
+
+try:  # METIS-style coarsening needs scipy; hash/range partitioners don't.
+    import scipy.sparse as sp
+except ImportError:  # pragma: no cover - exercised by the no-scipy CI job
+    sp = None
 
 from ..errors import PartitionError
 from .base import PartitionResult, Partitioner
@@ -38,6 +42,10 @@ __all__ = ["metis_partition", "MetisPartitioner", "metis_clusters"]
 def _weighted_adjacency(graph):
     """The graph as a symmetric weighted scipy CSR matrix (weight 1 per
     edge, symmetrized so matching sees every neighbor)."""
+    if sp is None:
+        raise PartitionError(
+            "metis-style partitioning requires scipy; use the hash or "
+            "range partitioner instead")
     n = graph.num_vertices
     data = np.ones(graph.num_edges, dtype=np.float64)
     adj = sp.csr_matrix((data, graph.indices.astype(np.int32),

@@ -32,6 +32,13 @@ class PerfFlags:
     eval_subgraph_cache:
         Let the trainer sample the fixed-seed evaluation mini-batches
         once and replay them across epochs.
+    kernel_backend:
+        Which sparse-kernel backend :mod:`repro.kernels` dispatches
+        aggregations to: ``"auto"`` (first importable accelerated
+        backend, reference as the floor), ``"reference"``,
+        ``"scipy"``, or ``"numba"``.  Every backend is bit-identical
+        to the reference (the conformance suite pins it), so this
+        flag changes wall time, never math.
     sanitize:
         Arm the runtime sanitizers (``repro.analysis.sanitize``):
         NaN/Inf scans on activations and gradients, CSR structure
@@ -46,6 +53,7 @@ class PerfFlags:
     fused_block_assembly: bool = True
     memoize_aggregation: bool = True
     eval_subgraph_cache: bool = True
+    kernel_backend: str = "auto"
     sanitize: bool = False
 
 
@@ -65,7 +73,10 @@ def perf_overrides(**overrides):
         if not hasattr(FLAGS, name):
             raise AttributeError(f"unknown perf flag {name!r}")
         saved[name] = getattr(FLAGS, name)
-        setattr(FLAGS, name, bool(value))
+        # Boolean flags coerce; string-valued flags (kernel_backend)
+        # pass through unchanged.
+        setattr(FLAGS, name,
+                bool(value) if isinstance(saved[name], bool) else value)
     try:
         yield FLAGS
     finally:

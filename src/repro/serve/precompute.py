@@ -22,10 +22,11 @@ The two are **bit-identical by construction**, not just numerically
 close.  Floating-point addition is order-sensitive, so equality needs
 both paths to execute the same per-row operations in the same order:
 
-* both aggregate through one shared scipy CSR operator per layer — the
-  on-demand path multiplies *row slices* of that operator, and scipy
-  evaluates a sliced row's dot product over the same stored non-zeros
-  in the same order as the full product;
+* both aggregate through one shared CSR operator per layer, dispatched
+  through :mod:`repro.kernels` — the on-demand path multiplies *row
+  slices* of that operator, and every registered backend evaluates a
+  sliced row's dot product over the same stored non-zeros in the same
+  order as the full product;
 * the on-demand path scatters its intermediate rows into full-width
   ``(num_vertices, dim)`` buffers before every dense transform, so each
   GEMM has exactly the table build's shape and each output row depends
@@ -47,6 +48,7 @@ import numpy as np
 from ..analysis.sanitize import check_finite
 from ..dist.fullbatch import full_aggregation_matrix
 from ..errors import ServingError
+from ..kernels import gspmm_forward
 from ..nn.layers import GCNConv, SAGEConv
 from ..nn.tensor import Tensor
 
@@ -159,7 +161,7 @@ class LayerwiseEmbeddings:
         """
         operator = self._operator(conv)
         rows = operator[dst] if len(dst) < self.num_vertices else operator
-        aggregated = rows @ h_in
+        aggregated = gspmm_forward(rows, h_in)
         full = np.zeros((self.num_vertices, aggregated.shape[1]),
                         dtype=aggregated.dtype)
         full[dst] = aggregated
