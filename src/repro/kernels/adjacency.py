@@ -40,21 +40,24 @@ __all__ = ["KernelCSR", "KernelCOO", "transpose_csr",
            "normalized_block_adjacency", "as_adjacency"]
 
 
-def transpose_csr(indptr, indices, data=None, num_cols=None):
+def transpose_csr(indptr, indices, data=None, num_cols=None,
+                  order=None):
     """Explicitly materialize the transpose of a CSR matrix.
 
     Returns ``(t_indptr, t_indices, t_data)`` (``t_data`` is ``None``
     when ``data`` is).  The stable argsort by column reproduces scipy's
     ``.T.tocsr()`` arrays byte-for-byte: both bucket entries by column
     in row-major scan order, so each output row lists its entries by
-    ascending former row id.
+    ascending former row id.  ``order`` may supply that argsort
+    precomputed (transposed entry ``p`` is original entry ``order[p]``).
     """
     indptr = np.asarray(indptr, dtype=np.int64)
     indices = np.asarray(indices, dtype=np.int64)
     num_rows = len(indptr) - 1
     if num_cols is None:
         num_cols = int(indices.max()) + 1 if len(indices) else 0
-    order = np.argsort(indices, kind="stable")
+    if order is None:
+        order = np.argsort(indices, kind="stable")
     rows = np.repeat(np.arange(num_rows, dtype=np.int64),
                      np.diff(indptr))
     t_indices = rows[order]
@@ -73,7 +76,8 @@ class KernelCSR:
     """
 
     __slots__ = ("indptr", "indices", "data", "shape", "_transpose",
-                 "_scipy")
+                 "_transpose_perm", "_scipy", "_scipy_ones",
+                 "_scipy_weighted")
 
     def __init__(self, indptr, indices, data, shape):
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
@@ -87,7 +91,10 @@ class KernelCSR:
         if len(self.indices) != len(self.data):
             raise KernelError("indices and data must align")
         self._transpose = None
+        self._transpose_perm = None
         self._scipy = None
+        self._scipy_ones = None
+        self._scipy_weighted = None
 
     @property
     def nnz(self):
@@ -96,6 +103,19 @@ class KernelCSR:
     def row_degrees(self):
         """Stored entries per row (int64)."""
         return np.diff(self.indptr)
+
+    def transpose_permutation(self):
+        """The stable argsort-by-column permutation relating this
+        operator's stored-edge order to its transpose's: transposed
+        stored edge ``p`` is original stored edge ``perm[p]``.  Memoized
+        (and shared with :meth:`transpose`), so per-edge quantities kept
+        in original storage order — GAT's explicit attention values in
+        the backward pass — can ride the transposed operator via
+        ``values[perm]``."""
+        if self._transpose_perm is None:
+            self._transpose_perm = np.argsort(self.indices,
+                                              kind="stable")
+        return self._transpose_perm
 
     def transpose(self):
         """The transposed operator as another :class:`KernelCSR`.
@@ -111,7 +131,8 @@ class KernelCSR:
         PERF.count("kernel_transpose_misses")
         t_indptr, t_indices, t_data = transpose_csr(
             self.indptr, self.indices, self.data,
-            num_cols=self.shape[1])
+            num_cols=self.shape[1],
+            order=self.transpose_permutation())
         transpose = KernelCSR(t_indptr, t_indices, t_data,
                               (self.shape[1], self.shape[0]))
         transpose._transpose = self

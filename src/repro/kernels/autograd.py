@@ -98,7 +98,12 @@ def gspmm(adj, x, values=None, op="mul", reduce="sum", backend=None):
                 routed = gspmm_forward(adj.reverse(), grad, v_arr,
                                        op=op, backend=backend)
             else:
-                routed = gspmm_forward(adj.transpose(), grad, v_arr,
+                # Explicit values ride in the *original* storage order;
+                # the transpose's stored edges are permuted, so the
+                # values must be permuted alongside them.
+                v_routed = None if v_arr is None else \
+                    v_arr[adj.transpose_permutation()]
+                routed = gspmm_forward(adj.transpose(), grad, v_routed,
                                        op=op, backend=backend)
             x_t._accumulate(routed if x_arr.ndim == 2
                             else routed[:, 0])

@@ -21,8 +21,9 @@ flow through :data:`repro.perf.PERF`.
 ``reduce`` is layered here rather than per-backend: every backend
 implements the sum reduction, ``mean`` divides the shared sum by the
 stored row degrees, and ``max`` always runs the reference extremum
-scan.  One normalization code path means backends cannot drift apart
-on the reductions.
+scan (counted as a ``kernel_fallbacks`` detour whenever a
+non-reference backend was resolved).  One normalization code path
+means backends cannot drift apart on the reductions.
 """
 
 from __future__ import annotations
@@ -160,7 +161,12 @@ def gspmm_forward(adj, x, values=None, op="mul", reduce="sum",
 
     layout = "coo" if isinstance(adj, KernelCOO) else "csr"
     if reduce == "max":
-        # The extremum scan (and its argmax map) is reference-only.
+        # The extremum scan (and its argmax map) is reference-only;
+        # resolving any other backend — explicitly or via "auto" — is a
+        # capability fallback and is counted like every other one, so
+        # benchmarks and tests see what actually ran.
+        if resolve_backend(backend) is not _REFERENCE:
+            PERF.count("kernel_fallbacks")
         PERF.count("kernel_gspmm_calls")
         PERF.count(f"kernel_{_REFERENCE.name}_calls")
         out, _argmax = _REFERENCE.gspmm_max(adj, x, values, op)

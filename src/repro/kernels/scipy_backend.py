@@ -53,11 +53,34 @@ class ScipyBackend:
         if sp is None:  # pragma: no cover - registry checks available()
             raise KernelError("scipy backend selected but scipy is "
                               "not importable")
-        if op == "copy_rhs" or values is not None:
-            data = np.ones(adj.nnz, dtype=x.dtype) \
-                if op == "copy_rhs" else values
-            matrix = sp.csr_matrix((data, adj.indices, adj.indptr),
-                                   shape=adj.shape)
+        if op == "copy_rhs":
+            matrix = self._structural(adj, x.dtype)
+        elif values is not None:
+            matrix = self._weighted(adj)
+            matrix.data = np.asarray(values)
         else:
             matrix = adj.to_scipy()
         return matrix @ x
+
+    def _structural(self, adj, dtype):
+        """The cached all-ones (``copy_rhs``) matrix sharing ``adj``'s
+        sparsity; rebuilt only when the operand dtype changes.  Its
+        ``data`` is never mutated — the values path has its own cache."""
+        cached = adj._scipy_ones
+        if cached is None or cached.dtype != dtype:
+            cached = self._module.csr_matrix(
+                (np.ones(adj.nnz, dtype=dtype), adj.indices,
+                 adj.indptr), shape=adj.shape)
+            adj._scipy_ones = cached
+        return cached
+
+    def _weighted(self, adj):
+        """The cached explicit-values matrix sharing ``adj``'s sparsity.
+        Each dispatch rebinds its ``data`` to the call's edge values —
+        an O(1) swap instead of a fresh ``csr_matrix`` per call."""
+        cached = adj._scipy_weighted
+        if cached is None:
+            cached = self._module.csr_matrix(
+                (adj.data, adj.indices, adj.indptr), shape=adj.shape)
+            adj._scipy_weighted = cached
+        return cached

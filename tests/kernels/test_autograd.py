@@ -82,6 +82,33 @@ class TestGspmmCsrGrads:
 
         check_grad(build, (adj.shape[1], 2), seed=4)
 
+    def test_explicit_values_x_grad(self, case, reduce):
+        """Explicit edge values override the stored CSR data; the
+        backward must permute them into the transpose's edge order
+        (regression: routing them unpermuted silently mis-weights the
+        x-gradient on any CSR with a non-identity transpose)."""
+        adj = CSR[case]
+        values = np.linspace(0.5, 1.5, adj.nnz)
+        w = _weights(adj.shape[0], 3, seed=21)
+
+        def build(x):
+            return (gspmm(adj, x, values=values, reduce=reduce)
+                    * w).sum()
+
+        check_grad(build, (adj.shape[1], 3), seed=22)
+
+    def test_explicit_values_grad(self, case, reduce):
+        adj = CSR[case]
+        features = np.random.default_rng(23).normal(
+            size=(adj.shape[1], 3))
+        w = _weights(adj.shape[0], 3, seed=24)
+
+        def build(values):
+            return (gspmm(adj, features, values=values,
+                          reduce=reduce) * w).sum()
+
+        check_grad(build, (adj.nnz,), seed=25)
+
 
 @pytest.mark.parametrize("case", GRAD_COO)
 class TestGspmmCooGrads:

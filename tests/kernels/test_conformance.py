@@ -146,6 +146,31 @@ class TestDispatchSemantics:
         assert delta.get("kernel_fallbacks", 0) == 1
         assert delta.get("kernel_reference_calls", 0) == 1
 
+    def test_max_reduce_detour_is_counted(self, csr_case):
+        """``reduce='max'`` always runs the reference scan; resolving
+        any other backend must count the detour as a fallback rather
+        than silently degrading an explicit request."""
+        accelerated = [n for n in available_backends()
+                       if n != "reference"]
+        if not accelerated:
+            pytest.skip("no accelerated backend importable")
+        x = _features(csr_case, np.float32)
+        before = PERF.snapshot()
+        gspmm_forward(csr_case, x, reduce="max",
+                      backend=accelerated[0])
+        delta = PERF.delta(before)
+        assert delta.get("kernel_fallbacks", 0) == 1
+        assert delta.get("kernel_reference_calls", 0) == 1
+        assert delta.get(f"kernel_{accelerated[0]}_calls", 0) == 0
+
+    def test_max_reduce_reference_is_not_a_fallback(self, csr_case):
+        x = _features(csr_case, np.float32)
+        before = PERF.snapshot()
+        gspmm_forward(csr_case, x, reduce="max", backend="reference")
+        delta = PERF.delta(before)
+        assert delta.get("kernel_fallbacks", 0) == 0
+        assert delta.get("kernel_reference_calls", 0) == 1
+
     def test_call_and_flop_counters(self, csr_case):
         x = _features(csr_case, np.float32, dim=4)
         before = PERF.snapshot()
@@ -163,3 +188,55 @@ class TestDispatchSemantics:
             pytest.skip("every registered backend is importable")
         with pytest.raises(KernelError, match="not importable"):
             resolve_backend(missing[0])
+
+
+class TestScipyDispatchCaching:
+    """Repeated dispatch through a persistent operator must reuse the
+    scipy backend's matrices (regression: the ``copy_rhs`` and
+    explicit-values paths allocated a fresh ``csr_matrix`` — and a
+    fresh ones array — on every call, bypassing the cache)."""
+
+    @pytest.fixture(autouse=True)
+    def _require_scipy(self):
+        if "scipy" not in available_backends():
+            pytest.skip("scipy backend not importable")
+
+    def test_copy_rhs_matrix_is_cached(self, csr_case):
+        x = _features(csr_case, np.float32)
+        first = gspmm_forward(csr_case, x, op="copy_rhs",
+                              backend="scipy")
+        cached = csr_case._scipy_ones
+        assert cached is not None
+        again = gspmm_forward(csr_case, x, op="copy_rhs",
+                              backend="scipy")
+        assert csr_case._scipy_ones is cached
+        _assert_bytes_equal(again, first)
+
+    def test_values_matrix_is_cached_across_value_swaps(self, csr_case):
+        x = _features(csr_case, np.float32)
+        v1 = np.linspace(0.5, 1.5, csr_case.nnz).astype(np.float32)
+        v2 = np.linspace(-2.0, 2.0, csr_case.nnz).astype(np.float32)
+        out1 = gspmm_forward(csr_case, x, values=v1, backend="scipy")
+        cached = csr_case._scipy_weighted
+        assert cached is not None
+        out2 = gspmm_forward(csr_case, x, values=v2, backend="scipy")
+        assert csr_case._scipy_weighted is cached
+        _assert_bytes_equal(out1, gspmm_forward(csr_case, x, values=v1,
+                                                backend="reference"))
+        _assert_bytes_equal(out2, gspmm_forward(csr_case, x, values=v2,
+                                                backend="reference"))
+
+    def test_values_path_does_not_corrupt_copy_rhs(self, csr_case):
+        """The two cached matrices are separate: rebinding the values
+        matrix's data must leave the all-ones matrix untouched."""
+        x = _features(csr_case, np.float32)
+        expected = gspmm_forward(csr_case, x, op="copy_rhs",
+                                 backend="reference")
+        gspmm_forward(csr_case, x, op="copy_rhs", backend="scipy")
+        gspmm_forward(csr_case, x,
+                      values=np.full(csr_case.nnz, 3.0,
+                                     dtype=np.float32),
+                      backend="scipy")
+        out = gspmm_forward(csr_case, x, op="copy_rhs",
+                            backend="scipy")
+        _assert_bytes_equal(out, expected)

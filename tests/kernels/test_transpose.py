@@ -74,6 +74,27 @@ class TestTransposeRoundtrip:
             assert t_data.tobytes() == expected.data.tobytes()
 
 
+class TestTransposePermutation:
+    """The memoized stable argsort relating original and transposed
+    edge storage order — what lets per-edge values given in original
+    order ride the transposed operator in the fused backward."""
+
+    @pytest.mark.parametrize("case", sorted(csr_cases()))
+    def test_permutation_maps_data_to_transpose_order(self, case):
+        adj = csr_cases()[case]
+        perm = adj.transpose_permutation()
+        assert perm.shape == (adj.nnz,)
+        assert adj.transpose().data.tobytes() \
+            == adj.data[perm].tobytes()
+
+    def test_permutation_is_memoized_and_shared(self):
+        indptr, indices, data, shape = _random_csr_arrays(3)
+        adj = KernelCSR(indptr, indices, data, shape)
+        perm = adj.transpose_permutation()
+        assert adj.transpose_permutation() is perm
+        assert adj._transpose_perm is perm
+
+
 class TestTransposeMemoization:
     def test_identity_both_directions(self):
         indptr, indices, data, shape = _random_csr_arrays(1)
