@@ -1,11 +1,12 @@
 # Developer entry points. `make help` lists targets.
 
-.PHONY: help install test lint bench serve-bench fleet-bench cache-bench chaos fleet-chaos kernel-bench examples docs reproduce clean
+.PHONY: help install test lint arch-lint bench serve-bench fleet-bench cache-bench chaos fleet-chaos kernel-bench examples docs reproduce clean
 
 help:
 	@echo "install     editable install (falls back past missing wheel pkg)"
 	@echo "test        run the unit/integration/property test suite"
-	@echo "lint        determinism & numerics static analysis (repro lint)"
+	@echo "lint        both static-analysis passes (repro lint + arch-lint)"
+	@echo "arch-lint   whole-program architectural analysis alone"
 	@echo "bench       run every table/figure benchmark (includes serving)"
 	@echo "serve-bench run the online-serving latency benchmark alone"
 	@echo "fleet-bench run the sharded multi-replica serving benchmark"
@@ -23,12 +24,20 @@ install:
 test:
 	pytest tests/
 
-# Fails on findings not grandfathered by the checked-in baseline
-# (src/repro/analysis/baseline.json, currently empty). The CI `lint`
-# job runs the same gate and uploads the JSON report.
-lint:
+# Fails on findings not grandfathered by the checked-in baselines
+# (src/repro/analysis/baseline.json and arch_baseline.json, both
+# currently empty). The CI `lint` and `arch-lint` jobs run the same
+# gates and upload the JSON reports.
+lint: arch-lint
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
 	  python -m repro lint --baseline
+
+# Whole-program architectural analysis (layering DAG, kernel-seam and
+# billing bypasses, simulated-clock purity, interprocedural RNG
+# provenance, public-API drift). Stdlib+numpy only.
+arch-lint:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} \
+	  python -m repro arch-lint --baseline
 
 # The benchmarks are runnable scripts with a __main__ block (like the
 # examples); `pytest --benchmark-only` can't collect them without the

@@ -12,6 +12,14 @@ Two halves of one correctness story:
   gradients, malformed CSR structures, broken shape/dtype contracts —
   behind the zero-cost-when-off ``FLAGS.sanitize`` toggle.
 
+A third, whole-program half rides on the same machinery: the
+**architectural analyzer** (:mod:`~repro.analysis.arch`,
+:mod:`~repro.analysis.graphing`, :mod:`~repro.analysis.rules.arch`)
+parses all of ``src/repro`` once into a project graph and enforces the
+checked-in contract in ``layers.toml`` — layering, kernel-seam and
+billing-seam usage, simulated-clock purity, RNG provenance, and
+public-API drift (``repro arch-lint``).
+
 This package stays import-light by design (stdlib ``ast`` + numpy +
 the flags/errors modules): ``repro lint`` must not pay for scipy or the
 training stack, and importing :mod:`repro` must not pay for the linter.
@@ -29,6 +37,9 @@ __all__ = [
     "to_baseline", "filter_new",
     "REPORT_VERSION", "render_json", "render_text", "write_json",
     "check_finite", "check_csr", "check_contract", "sanitize_active",
+    "arch_lint", "load_arch_baseline", "DEFAULT_ARCH_BASELINE_PATH",
+    "ProjectGraph", "build_project",
+    "ArchConfig", "DEFAULT_LAYERS_PATH", "load_arch_config",
 ]
 
 # name -> defining submodule, resolved on first attribute access.
@@ -44,6 +55,11 @@ _LAZY = {
     "rule_table": "rules",
     "check_contract": "sanitize", "check_csr": "sanitize",
     "check_finite": "sanitize", "sanitize_active": "sanitize",
+    "DEFAULT_ARCH_BASELINE_PATH": "arch", "arch_lint": "arch",
+    "load_arch_baseline": "arch",
+    "ProjectGraph": "graphing", "build_project": "graphing",
+    "ArchConfig": "layers", "DEFAULT_LAYERS_PATH": "layers",
+    "load_arch_config": "layers",
 }
 
 

@@ -1,0 +1,121 @@
+"""The whole-program architectural analyzer (``repro arch-lint``).
+
+Parses all of ``src/repro`` once into a
+:class:`~repro.analysis.graphing.ProjectGraph`, loads the checked-in
+contract (``layers.toml``), runs the ARC rules, and reuses the per-file
+linter's machinery end-to-end: ``# repro: noqa[ARCnnn]`` inline
+suppression, fingerprint-keyed baseline grandfathering
+(``arch_baseline.json``), :class:`~repro.analysis.lint.LintResult`,
+and the text/JSON reporters.
+
+Usage (library)::
+
+    from repro.analysis import arch_lint
+    result = arch_lint()
+    assert result.clean
+
+Usage (CLI): ``repro arch-lint [--format json] [--baseline]
+[--update-baseline] [root]`` — see :mod:`repro.cli`.
+
+Like the rest of the analysis package this must stay import-light
+(stdlib only) and must never run on ``import repro``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .baseline import filter_new, load_baseline
+from .graphing import build_project
+from .layers import load_arch_config
+from .lint import LintResult, _suppressed_codes
+from .rules import Finding
+from .rules.arch import arch_rules
+
+__all__ = ["DEFAULT_ARCH_BASELINE_PATH", "DEFAULT_ROOT", "arch_lint",
+           "default_root", "load_arch_baseline"]
+
+#: The checked-in arch baseline, next to this module.
+DEFAULT_ARCH_BASELINE_PATH = (Path(__file__).resolve().parent
+                              / "arch_baseline.json")
+
+#: The package this analyzer was built to police: its own source tree.
+DEFAULT_ROOT = Path(__file__).resolve().parents[1]
+
+
+def default_root():
+    """The package root to analyze when none is given: ``src/repro``
+    relative to the working directory if present (so display paths
+    match the repo layout CI and baselines use), else the installed
+    package directory."""
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return candidate
+    return DEFAULT_ROOT
+
+
+def load_arch_baseline(path=None):
+    """Fingerprint->count mapping for the arch pass (default: the
+    checked-in ``arch_baseline.json``)."""
+    return load_baseline(path if path is not None
+                         else DEFAULT_ARCH_BASELINE_PATH)
+
+
+def arch_lint(root=None, config_path=None, baseline=None, rules=None,
+              package=None):
+    """Run the architectural rules over the project at ``root``.
+
+    Parameters
+    ----------
+    root:
+        Package source directory (default: :func:`default_root`).
+    config_path:
+        ``layers.toml`` to enforce (default: the checked-in contract).
+    baseline:
+        Fingerprint->count mapping; ``None`` disables grandfathering.
+    rules:
+        :class:`~repro.analysis.rules.arch.ArchRule` instances to run
+        (default: every registered ARC rule).
+    package:
+        Dotted name of the root package (default: ``root``'s name).
+
+    Returns the same :class:`~repro.analysis.lint.LintResult` shape as
+    the per-file linter, so the reporters and the CLI gate apply
+    unchanged.
+    """
+    root = Path(root) if root is not None else default_root()
+    graph = build_project(root, package=package)
+    config = load_arch_config(config_path)
+    result = LintResult()
+    result.files_scanned = len(graph.modules) + len(graph.parse_errors)
+
+    findings = []
+    for display, exc in graph.parse_errors:
+        result.parse_errors += 1
+        findings.append(Finding(
+            rule="ARC000", severity="error", path=display,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error",
+            snippet=(exc.text or "").strip()))
+
+    active = list(rules) if rules is not None else arch_rules()
+    by_path = {info.path: info for info in graph.modules.values()}
+    for rule in active:
+        for finding in rule.findings(graph, config):
+            info = by_path.get(finding.path)
+            text = info.line_text(finding.line) if info else ""
+            codes = _suppressed_codes(text)
+            if codes is not None and (not codes
+                                      or finding.rule in codes):
+                result.suppressed += 1
+            else:
+                findings.append(finding)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.findings = findings
+    if baseline is not None:
+        result.new_findings = filter_new(findings, baseline)
+    else:
+        result.new_findings = list(findings)
+    return result

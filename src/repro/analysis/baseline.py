@@ -17,7 +17,8 @@ import json
 from pathlib import Path
 
 __all__ = ["DEFAULT_BASELINE_PATH", "fingerprint", "load_baseline",
-           "save_baseline", "to_baseline", "filter_new"]
+           "save_baseline", "save_baseline_counts", "to_baseline",
+           "filter_new"]
 
 #: The checked-in repo baseline, next to this module.
 DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
@@ -58,8 +59,17 @@ def load_baseline(path=None):
 def save_baseline(findings, path=None):
     """Write the baseline covering ``findings`` to ``path`` and return
     the path written."""
+    return save_baseline_counts(to_baseline(findings)["findings"],
+                                path=path)
+
+
+def save_baseline_counts(counts, path=None):
+    """Write a fingerprint->count mapping as a baseline document —
+    the merge-aware form for partial runs, where entries covering
+    unscanned files are carried over rather than regenerated."""
     path = Path(path) if path is not None else DEFAULT_BASELINE_PATH
-    document = to_baseline(findings)
+    document = {"version": _VERSION,
+                "findings": dict(sorted(counts.items()))}
     path.write_text(json.dumps(document, indent=2, sort_keys=True)
                     + "\n", encoding="utf-8")
     return path

@@ -1,0 +1,207 @@
+"""The checked-in architectural contract (``layers.toml``).
+
+The contract declares the layered package DAG (ARC001) plus per-rule
+scoping for the other architectural rules.  It is parsed with a small
+TOML-subset reader rather than :mod:`tomllib` because CI still runs
+Python 3.10; the subset covers exactly what the contract needs —
+``[table]``, ``[[array-of-tables]]``, string/int/bool values, and
+(possibly multi-line) arrays of strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ArchConfig", "DEFAULT_LAYERS_PATH", "load_arch_config",
+           "parse_toml"]
+
+#: The checked-in contract, next to this module.
+DEFAULT_LAYERS_PATH = Path(__file__).resolve().parent / "layers.toml"
+
+
+# ----------------------------------------------------------------------
+# Minimal TOML-subset parser
+# ----------------------------------------------------------------------
+def _strip_comment(line):
+    """Drop a ``#`` comment, respecting string quotes."""
+    out = []
+    quote = None
+    for ch in line:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out).strip()
+
+
+def _parse_scalar(text):
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"unsupported TOML value: {text!r}")
+
+
+def _split_items(text):
+    """Split a bracketless array body on top-level commas."""
+    items, depth, quote, current = [], 0, None, []
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+        elif ch == "[":
+            depth += 1
+            current.append(ch)
+        elif ch == "]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        items.append(tail)
+    return [item.strip() for item in items if item.strip()]
+
+
+def _parse_value(text):
+    text = text.strip()
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise ValueError(f"unterminated array: {text!r}")
+        return [_parse_value(item)
+                for item in _split_items(text[1:-1])]
+    return _parse_scalar(text)
+
+
+def _bracket_balance(text):
+    depth, quote = 0, None
+    for ch in text:
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+    return depth
+
+
+def parse_toml(text):
+    """Parse the TOML subset described in the module docstring into
+    nested dicts (array-of-tables become lists of dicts)."""
+    root = {}
+    table = root
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = _strip_comment(lines[index])
+        index += 1
+        if not line:
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            keys = line[2:-2].strip().split(".")
+            parent = root
+            for key in keys[:-1]:
+                parent = parent.setdefault(key, {})
+            entries = parent.setdefault(keys[-1], [])
+            if not isinstance(entries, list):
+                raise ValueError(f"{keys[-1]} is not array-of-tables")
+            table = {}
+            entries.append(table)
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            keys = line[1:-1].strip().split(".")
+            parent = root
+            for key in keys[:-1]:
+                parent = parent.setdefault(key, {})
+            table = parent.setdefault(keys[-1], {})
+            continue
+        if "=" not in line:
+            raise ValueError(f"unsupported TOML line: {line!r}")
+        key, _, value = line.partition("=")
+        value = value.strip()
+        # Multi-line array: keep consuming until brackets balance.
+        while _bracket_balance(value) > 0:
+            if index >= len(lines):
+                raise ValueError(f"unterminated array for {key.strip()}")
+            value += " " + _strip_comment(lines[index])
+            index += 1
+        table[key.strip()] = _parse_value(value)
+    return root
+
+
+# ----------------------------------------------------------------------
+# The contract
+# ----------------------------------------------------------------------
+@dataclass
+class ArchConfig:
+    """Parsed ``layers.toml``: layer levels plus per-rule options."""
+
+    levels: dict = field(default_factory=dict)   #: package -> level
+    layer_names: dict = field(default_factory=dict)  #: package -> layer
+    rules: dict = field(default_factory=dict)    #: "ARCnnn" -> options
+    path: str = ""
+
+    def level_of(self, package):
+        """Declared level of ``package``, or None if undeclared."""
+        return self.levels.get(package)
+
+    def rule(self, code):
+        """Options table for ``code`` (empty dict if absent)."""
+        return self.rules.get(code, {})
+
+    def allowed_pairs(self):
+        """Sanctioned same-level cross-package imports, as a set of
+        ``(src, dst)`` tuples."""
+        pairs = set()
+        for entry in self.rule("ARC001").get("allowed", []):
+            src, _, dst = entry.partition("->")
+            pairs.add((src.strip(), dst.strip()))
+        return pairs
+
+
+def load_arch_config(path=None):
+    """Read and validate the contract at ``path`` (default: the
+    checked-in ``layers.toml``)."""
+    path = Path(path) if path is not None else DEFAULT_LAYERS_PATH
+    document = parse_toml(path.read_text(encoding="utf-8"))
+    config = ArchConfig(path=path.as_posix())
+    for layer in document.get("layer", []):
+        name = layer.get("name")
+        level = layer.get("level")
+        if name is None or not isinstance(level, int):
+            raise ValueError(
+                f"{path}: every [[layer]] needs a name and an int level")
+        for package in layer.get("packages", []):
+            if package in config.levels:
+                raise ValueError(
+                    f"{path}: package {package!r} declared twice")
+            config.levels[package] = level
+            config.layer_names[package] = name
+    config.rules = document.get("rules", {})
+    return config

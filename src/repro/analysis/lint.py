@@ -29,16 +29,32 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .baseline import filter_new
+from .baseline import filter_new, fingerprint
 from .rules import Finding, RuleContext, all_rules
 
-__all__ = ["LintResult", "lint_file", "lint_paths", "iter_python_files"]
+__all__ = ["LintResult", "lint_file", "lint_paths",
+           "iter_python_files", "stale_fingerprints"]
 
 #: ``# repro: noqa`` or ``# repro: noqa[RPR001,RPR005]``.
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
 
-_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache"}
+
+#: Skipped only when they are build artifacts, i.e. not python
+#: packages — ``src/repro/dist`` is source and must be scanned.
+_ARTIFACT_DIRS = {"build", "dist"}
+
+
+def _skip_candidate(candidate):
+    for index, part in enumerate(candidate.parts[:-1]):
+        if part in _SKIP_DIRS:
+            return True
+        if part in _ARTIFACT_DIRS:
+            directory = Path(*candidate.parts[:index + 1])
+            if not (directory / "__init__.py").exists():
+                return True
+    return False
 
 
 @dataclass
@@ -56,6 +72,13 @@ class LintResult:
     suppressed: int = 0
     files_scanned: int = 0
     parse_errors: int = 0
+    #: Baseline fingerprints that no longer match anything: their file
+    #: was scanned and has no such finding, or the file is gone.
+    #: ``--update-baseline`` prunes them.
+    stale_baseline: list = field(default_factory=list)
+    #: Display paths of the files this run scanned (fingerprint
+    #: prefixes), so callers can merge partial-run baselines.
+    scanned_paths: list = field(default_factory=list)
 
     @property
     def baselined(self):
@@ -81,11 +104,25 @@ def iter_python_files(paths):
         else:
             raise FileNotFoundError(f"lint path does not exist: {path}")
         for candidate in candidates:
-            if _SKIP_DIRS.intersection(candidate.parts):
+            if _skip_candidate(candidate):
                 continue
             if candidate not in seen:
                 seen.add(candidate)
                 yield candidate
+
+
+def _display_path(path):
+    """Canonical finding path: cwd-relative posix when possible.
+
+    Explicit file arguments (``repro lint ./src/x.py``, absolute
+    paths) must fingerprint identically to whole-tree runs, or the
+    baseline stops grandfathering them.
+    """
+    path = Path(path)
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
 
 
 def _suppressed_codes(line_text):
@@ -153,16 +190,43 @@ def lint_paths(paths, rules=None, baseline=None):
     """
     rules = list(rules) if rules is not None else all_rules()
     result = LintResult()
+    scanned_paths = set()
     for path in iter_python_files(paths):
-        findings, suppressed = lint_file(path, rules=rules)
+        display = _display_path(path)
+        scanned_paths.add(display)
+        findings, suppressed = lint_file(path, rules=rules,
+                                         display_path=display)
         result.files_scanned += 1
         result.suppressed += suppressed
         result.findings.extend(findings)
         result.parse_errors += sum(1 for f in findings
                                    if f.rule == "RPR000")
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.scanned_paths = sorted(scanned_paths)
     if baseline is not None:
         result.new_findings = filter_new(result.findings, baseline)
+        result.stale_baseline = stale_fingerprints(
+            result.findings, baseline, scanned_paths)
     else:
         result.new_findings = list(result.findings)
     return result
+
+
+def stale_fingerprints(findings, baseline, scanned_paths):
+    """Baseline entries that no longer match any finding.
+
+    An entry is stale when its file was scanned in this run and the
+    fingerprint matched nothing, or when the file no longer exists.
+    Entries for unscanned-but-existing files are *not* stale — a
+    partial run (explicit file arguments) must not condemn the rest of
+    the baseline.
+    """
+    current = {fingerprint(finding) for finding in findings}
+    stale = []
+    for key in sorted(baseline):
+        if key in current:
+            continue
+        path = key.split("::", 1)[0]
+        if path in scanned_paths or not Path(path).exists():
+            stale.append(key)
+    return stale

@@ -39,6 +39,15 @@ _WALL_CLOCK = frozenset({
     "time.process_time", "time.process_time_ns",
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
+    # ``from datetime import datetime/date`` spellings.
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+})
+
+#: ``time`` functions that stay wall-clock reads when bound by a
+#: ``from time import ...`` (matched through the import's alias).
+_TIME_FUNCTIONS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns",
 })
 
 
@@ -103,6 +112,15 @@ class WallClockInSimulatedPath(Rule):
     def check(self, ctx):
         if self._allowed(ctx):
             return
+        # Bindings from ``from time import perf_counter [as pc]``: a
+        # bare ``pc()`` is still a wall-clock read.
+        time_aliases = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_FUNCTIONS:
+                        time_aliases[alias.asname or alias.name] = \
+                            alias.name
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -110,6 +128,10 @@ class WallClockInSimulatedPath(Rule):
             if name in _WALL_CLOCK:
                 yield node, (f"`{name}()` reads the host wall clock "
                              f"outside repro.perf.profiler")
+            elif name in time_aliases:
+                yield node, (f"`{name}()` (time.{time_aliases[name]}) "
+                             f"reads the host wall clock outside "
+                             f"repro.perf.profiler")
 
 
 @register

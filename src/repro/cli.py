@@ -39,6 +39,12 @@ Commands
     Run the determinism & numerics static-analysis pass (rule ids
     ``RPRnnn``, baseline grandfathering, text/JSON reports; see
     :mod:`repro.analysis`).  Exits nonzero on new findings.
+``arch-lint``
+    Run the whole-program architectural analysis pass (rule ids
+    ``ARCnnn``: layering contract, kernel-seam and billing-seam
+    bypasses, simulated-clock purity, RNG provenance, public-API
+    drift; see :mod:`repro.analysis.arch`).  Same baseline/noqa/report
+    machinery as ``lint``; exits nonzero on new findings.
 """
 
 from __future__ import annotations
@@ -363,6 +369,31 @@ def build_parser():
                       help="baseline location (default: "
                            "src/repro/analysis/baseline.json)")
     lint.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the JSON report to PATH")
+
+    arch = sub.add_parser(
+        "arch-lint",
+        help="run the whole-program architectural analysis pass")
+    arch.add_argument("root", nargs="?", default=None, metavar="ROOT",
+                      help="package source root to analyze (default: "
+                           "src/repro)")
+    arch.add_argument("--format", default="text",
+                      choices=["text", "json"],
+                      help="stdout report format")
+    arch.add_argument("--baseline", action="store_true",
+                      help="grandfather findings recorded in the "
+                           "checked-in arch baseline; fail only on "
+                           "new ones")
+    arch.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the arch baseline to cover the "
+                           "current findings and exit 0")
+    arch.add_argument("--baseline-file", default=None, metavar="PATH",
+                      help="baseline location (default: "
+                           "src/repro/analysis/arch_baseline.json)")
+    arch.add_argument("--layers", default=None, metavar="PATH",
+                      help="layers.toml contract to enforce (default: "
+                           "src/repro/analysis/layers.toml)")
+    arch.add_argument("--out", default=None, metavar="PATH",
                       help="also write the JSON report to PATH")
     return parser
 
@@ -773,7 +804,8 @@ def _cmd_lint(args):
     from pathlib import Path
 
     from .analysis import lint_paths, render_json, render_text, write_json
-    from .analysis.baseline import load_baseline, save_baseline
+    from .analysis.baseline import (load_baseline, save_baseline_counts,
+                                    to_baseline)
 
     paths = args.paths or [p for p in ("src", "benchmarks", "examples",
                                        "tools", "tests")
@@ -785,11 +817,25 @@ def _cmd_lint(args):
 
     try:
         if args.update_baseline:
-            result = lint_paths(paths)
-            written = save_baseline(result.findings,
-                                    path=args.baseline_file)
+            existing = load_baseline(args.baseline_file)
+            result = lint_paths(paths, baseline=existing)
+            current = to_baseline(result.findings)["findings"]
+            # Merge: entries for files outside this run's scope are
+            # carried over (a partial run must not wipe them); stale
+            # entries — scanned-and-unmatched or file gone — are
+            # pruned along with everything the fresh counts replace.
+            scanned = set(result.scanned_paths)
+            kept = {key: count for key, count in existing.items()
+                    if key not in current
+                    and key.split("::", 1)[0] not in scanned
+                    and Path(key.split("::", 1)[0]).exists()}
+            written = save_baseline_counts({**kept, **current},
+                                           path=args.baseline_file)
+            pruned = len(existing) - len(kept) \
+                - sum(1 for key in current if key in existing)
             print(f"wrote {written} covering {len(result.findings)} "
-                  f"findings across {result.files_scanned} files")
+                  f"findings across {result.files_scanned} files "
+                  f"({pruned} stale entries pruned)")
             return 0
         baseline = load_baseline(args.baseline_file) if args.baseline \
             else None
@@ -809,6 +855,46 @@ def _cmd_lint(args):
     return 0 if result.clean else 1
 
 
+def _cmd_arch_lint(args):
+    # Lazy for the same reason as _cmd_lint: the whole-program pass
+    # must only ever run when asked for.
+    from .analysis import render_json, render_text, write_json
+    from .analysis.arch import arch_lint, load_arch_baseline
+    from .analysis.baseline import save_baseline
+    from .analysis.arch import DEFAULT_ARCH_BASELINE_PATH
+    from .analysis.rules.arch import arch_rule_table
+
+    baseline_path = args.baseline_file or DEFAULT_ARCH_BASELINE_PATH
+    try:
+        if args.update_baseline:
+            result = arch_lint(root=args.root,
+                               config_path=args.layers)
+            written = save_baseline(result.findings,
+                                    path=baseline_path)
+            print(f"wrote {written} covering {len(result.findings)} "
+                  f"findings across {result.files_scanned} modules")
+            return 0
+        baseline = load_arch_baseline(args.baseline_file) \
+            if args.baseline else None
+        result = arch_lint(root=args.root, config_path=args.layers,
+                           baseline=baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = arch_rule_table()
+    if args.format == "json":
+        import json
+        print(json.dumps(render_json(result, rule_rows=rows),
+                         indent=2))
+    else:
+        print(render_text(result))
+    if args.out:
+        write_json(result, args.out, rule_rows=rows)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if result.clean else 1
+
+
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -818,7 +904,8 @@ def main(argv=None):
                 "serve-bench": _cmd_serve_bench,
                 "fleet-bench": _cmd_fleet_bench, "chaos": _cmd_chaos,
                 "fleet-chaos": _cmd_fleet_chaos,
-                "kernel-bench": _cmd_kernel_bench, "lint": _cmd_lint}
+                "kernel-bench": _cmd_kernel_bench, "lint": _cmd_lint,
+                "arch-lint": _cmd_arch_lint}
     return handlers[args.command](args)
 
 

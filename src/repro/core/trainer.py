@@ -72,8 +72,11 @@ def evaluate_model(model, dataset, vertex_ids, sampler, rng,
 
         correct = 0
         for subgraph in prepared:
-            logits = model.forward(subgraph,
-                                   dataset.features[subgraph.input_nodes])
+            # Offline accuracy eval sits outside the transfer cost
+            # model on purpose: nothing here is billed or benched.
+            logits = model.forward(
+                subgraph,
+                dataset.features[subgraph.input_nodes])  # repro: noqa[ARC003]
             predictions = logits.data.argmax(axis=-1)
             correct += int((predictions
                             == dataset.labels[subgraph.seeds]).sum())

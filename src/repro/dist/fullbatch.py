@@ -26,12 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
-try:  # full-batch training needs scipy; sampled paths do not.
-    import scipy.sparse as sp
-except ImportError:  # pragma: no cover - exercised by the no-scipy CI job
-    sp = None
-
 from ..errors import TrainingError
+from ..kernels import full_graph_adjacency
 from ..nn import Tensor, softmax_cross_entropy
 from ..nn.layers import GCNConv, MLP, Module
 from .engine import EpochStats
@@ -40,23 +36,14 @@ __all__ = ["FullGraphGCN", "FullBatchEngine", "full_aggregation_matrix"]
 
 
 def full_aggregation_matrix(graph, self_loops=True):
-    """Row-normalized (mean) aggregation operator of the whole graph."""
-    if sp is None:
-        raise TrainingError(
-            "full-graph aggregation requires scipy; the sampled "
-            "training paths run without it")
-    n = graph.num_vertices
-    in_indptr, in_indices = graph.in_csr()
-    matrix = sp.csr_matrix(
-        (np.ones(len(in_indices), dtype=np.float32),
-         in_indices.astype(np.int64), in_indptr.astype(np.int64)),
-        shape=(n, n))
-    if self_loops:
-        matrix = matrix + sp.identity(n, dtype=np.float32, format="csr")
-    degree = np.asarray(matrix.sum(axis=1)).ravel()
-    degree[degree == 0] = 1.0
-    scale = sp.diags((1.0 / degree).astype(np.float32))
-    return (scale @ matrix).tocsr()
+    """Row-normalized (mean) aggregation operator of the whole graph.
+
+    A :class:`~repro.kernels.adjacency.KernelCSR` from the kernel seam
+    — bit-identical to the historical scipy ``diags @ (csr + identity)``
+    construction, but scipy-free, so full-batch training runs on every
+    kernel backend.
+    """
+    return full_graph_adjacency(graph, self_loops=self_loops)
 
 
 class FullGraphGCN(Module):
@@ -137,7 +124,8 @@ class FullBatchEngine:
                 sources[assignment[sources] != p])
         # Per-machine aggregation row slices (for compute metering and
         # stale-mode row-wise forward).
-        self.row_slices = [self.adjacency[owned] for owned in self.owned]
+        self.row_slices = [self.adjacency.take_rows(owned)
+                           for owned in self.owned]
         self.edges_per_machine = np.array(
             [rows.nnz for rows in self.row_slices])
         # Stale stores: inputs to conv layer l (l >= 1).

@@ -12,6 +12,13 @@ required, corrupt (checksum mismatch), or were written by an
 incompatible configuration.
 """
 
+__all__ = ["ReproError", "GraphError", "PartitionError",
+           "SamplingError", "TrainingError", "KernelError",
+           "TransferError", "DatasetError", "ServingError",
+           "AdmissionError", "FleetError", "FaultError",
+           "CheckpointError", "CheckpointIntegrityError",
+           "SanitizerError"]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

@@ -26,6 +26,7 @@ Select a backend globally with ``FLAGS.kernel_backend`` (``"auto"``,
 """
 
 from .adjacency import (KernelCOO, KernelCSR, as_adjacency,
+                        full_graph_adjacency,
                         normalized_block_adjacency, transpose_csr)
 from .autograd import edge_softmax, gsddmm, gspmm
 from .registry import (GSDDMM_OPS, GSPMM_OPS, REDUCES,
@@ -37,7 +38,7 @@ __all__ = [
     "gspmm", "gsddmm", "edge_softmax",
     "gspmm_forward", "gsddmm_forward", "edge_softmax_forward",
     "KernelCSR", "KernelCOO", "as_adjacency", "transpose_csr",
-    "normalized_block_adjacency",
+    "normalized_block_adjacency", "full_graph_adjacency",
     "register_backend", "available_backends", "resolve_backend",
     "GSPMM_OPS", "GSDDMM_OPS", "REDUCES",
 ]

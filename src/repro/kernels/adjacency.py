@@ -37,7 +37,8 @@ from ..errors import KernelError
 from ..perf import PERF
 
 __all__ = ["KernelCSR", "KernelCOO", "transpose_csr",
-           "normalized_block_adjacency", "as_adjacency"]
+           "normalized_block_adjacency", "full_graph_adjacency",
+           "as_adjacency"]
 
 
 def transpose_csr(indptr, indices, data=None, num_cols=None,
@@ -223,26 +224,16 @@ class KernelCOO:
         return (f"KernelCOO(shape={self.shape}, nnz={self.nnz})")
 
 
-def normalized_block_adjacency(block, self_loops=True):
-    """A sampled block's row-normalized mean-aggregation operator.
+def _mean_aggregation_csr(rows, cols, num_dst, num_src):
+    """Row-normalized mean-aggregation operator over raw edges.
 
-    Pure-numpy construction of the ``num_dst x num_src`` operator whose
-    row ``i`` averages the sampled in-neighbors of destination ``i``
-    (plus ``i`` itself when ``self_loops``).  The stored layout
-    reproduces the historical scipy construction bit-for-bit: canonical
-    CSR with duplicate edges summed, then each row's entries *reversed*
-    (scipy's SMMP ``diags @ csr`` row-scaling emits rows in descending
-    column order) with values scaled by ``float32(1) / degree``.
+    The shared core of :func:`normalized_block_adjacency` and
+    :func:`full_graph_adjacency`: canonical CSR with duplicate edges
+    summed, each row's entries *reversed* (scipy's SMMP ``diags @ csr``
+    row-scaling emits rows in descending column order) and values
+    scaled by ``float32(1) / degree`` — bit-for-bit the layout the
+    historical scipy construction produced.
     """
-    num_dst, num_src = block.num_dst, block.num_src
-    rows = np.repeat(np.arange(num_dst, dtype=np.int64),
-                     block.degrees())
-    cols = block.indices.astype(np.int64, copy=False)
-    if self_loops:
-        loops = np.arange(num_dst, dtype=np.int64)
-        rows = np.concatenate([rows, loops])
-        cols = np.concatenate([cols, loops])
-
     if len(rows):
         # Canonicalize: ascending (row, col) with duplicates summed
         # (a self-loop can duplicate an existing (i, i) edge).
@@ -278,6 +269,48 @@ def normalized_block_adjacency(block, self_loops=True):
         values = (values * scale[urows])[reverse]
 
     return KernelCSR(indptr, ucols, values, (num_dst, num_src))
+
+
+def normalized_block_adjacency(block, self_loops=True):
+    """A sampled block's row-normalized mean-aggregation operator.
+
+    Pure-numpy construction of the ``num_dst x num_src`` operator whose
+    row ``i`` averages the sampled in-neighbors of destination ``i``
+    (plus ``i`` itself when ``self_loops``); layout notes in
+    :func:`_mean_aggregation_csr`.
+    """
+    num_dst, num_src = block.num_dst, block.num_src
+    rows = np.repeat(np.arange(num_dst, dtype=np.int64),
+                     block.degrees())
+    cols = block.indices.astype(np.int64, copy=False)
+    if self_loops:
+        loops = np.arange(num_dst, dtype=np.int64)
+        rows = np.concatenate([rows, loops])
+        cols = np.concatenate([cols, loops])
+    return _mean_aggregation_csr(rows, cols, num_dst, num_src)
+
+
+def full_graph_adjacency(graph, self_loops=True):
+    """The whole graph's row-normalized mean-aggregation operator.
+
+    The ``n x n`` operator whose row ``v`` averages the in-neighbors of
+    vertex ``v`` (plus ``v`` itself when ``self_loops``), built from
+    ``graph.in_csr()`` without scipy.  Replaces the historical
+    ``diags @ (csr + identity)`` construction in the full-batch engine
+    bit-for-bit — same layout notes as :func:`_mean_aggregation_csr` —
+    so full-graph training and precomputed serving run identically on
+    every kernel backend.
+    """
+    n = graph.num_vertices
+    in_indptr, in_indices = graph.in_csr()
+    rows = np.repeat(np.arange(n, dtype=np.int64),
+                     np.diff(np.asarray(in_indptr, dtype=np.int64)))
+    cols = np.asarray(in_indices, dtype=np.int64)
+    if self_loops:
+        loops = np.arange(n, dtype=np.int64)
+        rows = np.concatenate([rows, loops])
+        cols = np.concatenate([cols, loops])
+    return _mean_aggregation_csr(rows, cols, n, n)
 
 
 def as_adjacency(matrix):

@@ -111,7 +111,9 @@ def run_serve_bench(dataset="ogb-arxiv", scale=0.3, model="gcn",
     # request frequencies measured on the first quarter of the trace.
     size, wait = policies[0]
     measured = np.zeros(data.graph.num_vertices)
-    np.add.at(measured,
+    # Request-frequency histogram over the warmup trace — admission
+    # scoring, not a graph aggregation; no kernel seam applies.
+    np.add.at(measured,  # repro: noqa[ARC002]
               [r.vertex for r in trace[:max(1, len(trace) // 4)]], 1)
     for tier_policy in tiered_policies:
         for ratio in cache_ratios:

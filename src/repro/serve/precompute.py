@@ -160,7 +160,8 @@ class LayerwiseEmbeddings:
         table build bit-for-bit.
         """
         operator = self._operator(conv)
-        rows = operator[dst] if len(dst) < self.num_vertices else operator
+        rows = operator.take_rows(dst) \
+            if len(dst) < self.num_vertices else operator
         aggregated = gspmm_forward(rows, h_in)
         full = np.zeros((self.num_vertices, aggregated.shape[1]),
                         dtype=aggregated.dtype)

@@ -90,7 +90,9 @@ def normalized_mutual_information(labels_a, labels_b):
     contingency = np.zeros((len(ids_a), len(ids_b)))
     index_a = np.searchsorted(ids_a, labels_a)
     index_b = np.searchsorted(ids_b, labels_b)
-    np.add.at(contingency, (index_a, index_b), 1.0)
+    # Label-pair contingency histogram for mutual information — a
+    # clustering statistic, not a graph aggregation; no kernel seam.
+    np.add.at(contingency, (index_a, index_b), 1.0)  # repro: noqa[ARC002]
     joint = contingency / n
     outer = joint.sum(axis=1, keepdims=True) @ joint.sum(
         axis=0, keepdims=True)

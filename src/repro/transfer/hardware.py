@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 
 from ..errors import TransferError
 
-__all__ = ["HardwareSpec", "DEFAULT_SPEC"]
+__all__ = ["HardwareSpec", "DEFAULT_SPEC", "estimate_flops"]
 
 
 @dataclass(frozen=True)

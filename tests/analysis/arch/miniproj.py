@@ -1,0 +1,173 @@
+"""Synthetic mini-project fixtures for the architectural analyzer.
+
+Every arch test builds a small fake package tree on disk (layered like
+a miniature ``src/repro``) and runs the whole-program pass over it —
+no test ever mutates the real tree.  ``CLEAN_FILES`` passes every ARC
+rule under ``clean_config_text``; the ``INJECT_*`` overlays each seed
+exactly one class of violation, so tests assert both directions: the
+rule fires with the injection and the pass is clean without it.
+"""
+
+import textwrap
+
+#: A layered package that is architecturally clean: graph (level 0)
+#: <- kernels (1) <- nn (2), and a fleet (3) event loop whose
+#: reachable functions touch neither the wall clock nor ambient RNG.
+CLEAN_FILES = {
+    "__init__.py": "",
+    "graph/__init__.py": "",
+    "graph/csr.py": """
+        def build_matrix(n):
+            return [[0] * n for _ in range(n)]
+    """,
+    "kernels/__init__.py": "",
+    "kernels/agg.py": """
+        import numpy as np
+
+        from ..graph.csr import build_matrix
+
+
+        def aggregate(values):
+            out = np.zeros(3)
+            np.add.at(out, [0, 1], values)
+            return out, build_matrix(2)
+    """,
+    "nn/__init__.py": "",
+    "nn/model.py": """
+        from ..kernels.agg import aggregate
+
+
+        def forward(values):
+            return aggregate(values)
+    """,
+    "fleet/__init__.py": "",
+    "fleet/util.py": """
+        def drain(queue):
+            total = 0
+            for item in queue:
+                total += item
+            return total
+    """,
+    "fleet/engine.py": """
+        from .util import drain
+
+
+        class Engine:
+            def __init__(self):
+                self.clock = 0.0
+                self.queue = []
+
+            def run(self):
+                return self._step()
+
+            def _step(self):
+                self.clock += 1.0
+                return drain(self.queue)
+    """,
+}
+
+#: ARC002 injection: a direct scipy aggregation in the fake nn module.
+INJECT_SCIPY_NN = {
+    "nn/model.py": """
+        import scipy.sparse as sp
+
+        from ..kernels.agg import aggregate
+
+
+        def forward(adjacency, values):
+            dense = sp.csr_matrix(adjacency)
+            return dense @ values
+    """,
+}
+
+#: ARC001 injection: a module-level upward import (graph -> fleet).
+INJECT_UPWARD_IMPORT = {
+    "graph/csr.py": """
+        from ..fleet.engine import Engine
+
+
+        def build_matrix(n):
+            return [[0] * n for _ in range(n)]
+    """,
+}
+
+#: ARC004 injection: a wall-clock read in a helper the event loop
+#: reaches (Engine.run -> _step -> drain).
+INJECT_WALL_CLOCK = {
+    "fleet/util.py": """
+        import time
+
+
+        def drain(queue):
+            total = 0
+            for item in queue:
+                total += item
+            return time.time() - total
+    """,
+}
+
+
+def clean_config_text():
+    """The mini-project's ``layers.toml`` matching ``CLEAN_FILES``."""
+    return """
+        version = 1
+
+        [[layer]]
+        name = "data"
+        level = 0
+        packages = ["graph"]
+
+        [[layer]]
+        name = "kernels"
+        level = 1
+        packages = ["kernels"]
+
+        [[layer]]
+        name = "model"
+        level = 2
+        packages = ["nn"]
+
+        [[layer]]
+        name = "fleet"
+        level = 3
+        packages = ["fleet"]
+
+        [[layer]]
+        name = "root"
+        level = 4
+        packages = ["proj"]
+
+        [rules.ARC002]
+        packages = ["nn", "fleet"]
+
+        [rules.ARC004]
+        roots = ["proj.fleet.engine.Engine.run"]
+    """
+
+
+def write_tree(tmp_path, files, name="proj"):
+    """Materialize ``files`` (relpath -> source) as package ``name``."""
+    root = tmp_path / name
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def write_config(tmp_path, text=None):
+    path = tmp_path / "layers.toml"
+    path.write_text(textwrap.dedent(text if text is not None
+                                    else clean_config_text()),
+                    encoding="utf-8")
+    return path
+
+
+def write_project(tmp_path, overlay=None, config_text=None):
+    """The clean mini-project plus an optional injection overlay;
+    returns ``(package root, layers.toml path)``."""
+    files = dict(CLEAN_FILES)
+    if overlay:
+        files.update(overlay)
+    return (write_tree(tmp_path, files),
+            write_config(tmp_path, config_text))

@@ -1,0 +1,157 @@
+"""The full ``repro arch-lint`` pass: live-fire injections, noqa,
+baselines, the CLI gate, and the real tree's acceptance bar.
+
+The live-fire tests are the acceptance criterion from the analyzer's
+design: inject a synthetic bypass (a scipy aggregation in a fake ``nn``
+module, an upward import, a wall-clock read in an event-loop-reachable
+function), assert the matching ARC rule fires, and assert the pass is
+clean once the injection is gone.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import arch_lint, load_arch_baseline
+from repro.analysis.baseline import save_baseline
+from repro.cli import main
+from repro.perf import wall_clock
+
+from tests.analysis.arch.miniproj import (INJECT_SCIPY_NN,
+                                          INJECT_UPWARD_IMPORT,
+                                          INJECT_WALL_CLOCK,
+                                          write_project)
+
+INJECTIONS = [("ARC001", INJECT_UPWARD_IMPORT),
+              ("ARC002", INJECT_SCIPY_NN),
+              ("ARC004", INJECT_WALL_CLOCK)]
+
+
+class TestLiveFire:
+    def test_clean_project_passes_every_rule(self, tmp_path):
+        root, config = write_project(tmp_path)
+        result = arch_lint(root=root, config_path=config)
+        assert result.clean, [f.message for f in result.findings]
+        assert result.files_scanned == len(
+            [p for p in root.rglob("*.py")])
+
+    @pytest.mark.parametrize("code,overlay", INJECTIONS)
+    def test_injected_bypass_fires_exactly_that_rule(self, tmp_path,
+                                                     code, overlay):
+        root, config = write_project(tmp_path, overlay=overlay)
+        result = arch_lint(root=root, config_path=config)
+        assert not result.clean
+        assert {f.rule for f in result.new_findings} == {code}
+
+    @pytest.mark.parametrize("code,overlay", INJECTIONS)
+    def test_removing_the_injection_cleans_the_pass(self, tmp_path,
+                                                    code, overlay):
+        root, config = write_project(tmp_path, overlay=overlay)
+        assert not arch_lint(root=root, config_path=config).clean
+        # Restore the clean sources in place: same tree, bypass gone.
+        clean_root, _ = write_project(tmp_path / "clean")
+        for rel in overlay:
+            (root / rel).write_text(
+                (clean_root / rel).read_text(encoding="utf-8"),
+                encoding="utf-8")
+        assert arch_lint(root=root, config_path=config).clean
+
+
+class TestSuppressionAndBaseline:
+    def test_noqa_suppresses_and_counts(self, tmp_path):
+        overlay = {"graph/csr.py": """
+            from ..fleet.engine import Engine  # repro: noqa[ARC001]
+
+
+            def build_matrix(n):
+                return [[0] * n for _ in range(n)]
+        """}
+        root, config = write_project(tmp_path, overlay=overlay)
+        result = arch_lint(root=root, config_path=config)
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_wrong_code_noqa_does_not_suppress(self, tmp_path):
+        overlay = {"graph/csr.py": """
+            from ..fleet.engine import Engine  # repro: noqa[ARC002]
+
+
+            def build_matrix(n):
+                return [[0] * n for _ in range(n)]
+        """}
+        root, config = write_project(tmp_path, overlay=overlay)
+        result = arch_lint(root=root, config_path=config)
+        assert not result.clean
+        assert result.suppressed == 0
+
+    def test_baseline_grandfathers_arch_findings(self, tmp_path):
+        root, config = write_project(tmp_path,
+                                     overlay=INJECT_UPWARD_IMPORT)
+        dirty = arch_lint(root=root, config_path=config)
+        baseline_path = tmp_path / "arch_baseline.json"
+        save_baseline(dirty.findings, path=baseline_path)
+        result = arch_lint(root=root, config_path=config,
+                           baseline=load_arch_baseline(baseline_path))
+        assert result.findings and result.clean
+        assert result.baselined == len(result.findings)
+
+    def test_syntax_error_yields_arc000(self, tmp_path):
+        root, config = write_project(
+            tmp_path, overlay={"broken.py": "def broken(:\n"})
+        result = arch_lint(root=root, config_path=config)
+        assert result.parse_errors == 1
+        assert {f.rule for f in result.new_findings} == {"ARC000"}
+
+
+class TestArchLintCli:
+    def test_injected_project_exits_nonzero(self, tmp_path, capsys):
+        root, config = write_project(tmp_path, overlay=INJECT_SCIPY_NN)
+        assert main(["arch-lint", str(root),
+                     "--layers", str(config)]) == 1
+        assert "ARC002" in capsys.readouterr().out
+
+    def test_update_baseline_then_gate_passes(self, tmp_path, capsys):
+        root, config = write_project(tmp_path, overlay=INJECT_SCIPY_NN)
+        baseline = tmp_path / "arch_baseline.json"
+        assert main(["arch-lint", str(root), "--layers", str(config),
+                     "--update-baseline",
+                     "--baseline-file", str(baseline)]) == 0
+        assert baseline.exists()
+        assert main(["arch-lint", str(root), "--layers", str(config),
+                     "--baseline",
+                     "--baseline-file", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_json_report_carries_arc_rule_table(self, tmp_path,
+                                                capsys):
+        root, config = write_project(tmp_path)
+        out = tmp_path / "arch_report.json"
+        assert main(["arch-lint", str(root), "--layers", str(config),
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["clean"] is True
+        assert [row["rule"] for row in payload["rules"]] == [
+            "ARC000", "ARC001", "ARC002", "ARC003", "ARC004",
+            "ARC005", "ARC006"]
+
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        assert main(["arch-lint", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRealTree:
+    """The repo's own acceptance bar, run exactly as CI runs it."""
+
+    def test_head_is_clean_and_fast(self):
+        start = wall_clock()
+        result = arch_lint(baseline=load_arch_baseline())
+        elapsed = wall_clock() - start
+        assert result.clean, [f"{f.path}:{f.line} {f.rule} {f.message}"
+                              for f in result.new_findings]
+        assert result.parse_errors == 0
+        assert result.files_scanned > 100
+        assert elapsed < 10.0, f"arch pass took {elapsed:.1f}s"
+
+    def test_cli_gate_passes_at_head(self, capsys):
+        assert main(["arch-lint", "--baseline"]) == 0
+        assert "clean" in capsys.readouterr().out

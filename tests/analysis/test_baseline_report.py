@@ -85,8 +85,11 @@ class TestReporters:
         assert payload["clean"] is False
         summary = payload["summary"]
         assert set(summary) == {"total", "new", "baselined",
-                                "suppressed", "parse_errors"}
+                                "suppressed", "parse_errors",
+                                "stale_baseline"}
         assert summary["total"] == summary["new"] == 1
+        assert summary["stale_baseline"] == 0
+        assert payload["stale_baseline"] == []
         assert {row["rule"] for row in payload["rules"]} >= {"RPR001"}
         (finding,) = payload["findings"]
         assert finding["rule"] == "RPR001"
@@ -112,3 +115,73 @@ class TestReporters:
         write_json(lint_paths([target]), out)
         payload = json.loads(out.read_text(encoding="utf-8"))
         assert payload["summary"]["total"] == 1
+
+    def test_rule_rows_override_swaps_in_arc_table(self, tmp_path):
+        from repro.analysis.rules.arch import arch_rule_table
+
+        target = write_tree(tmp_path, source="x = 1\n")
+        payload = render_json(lint_paths([target]),
+                              rule_rows=arch_rule_table())
+        codes = {row["rule"] for row in payload["rules"]}
+        assert codes == {"ARC000", "ARC001", "ARC002", "ARC003",
+                         "ARC004", "ARC005", "ARC006"}
+        json.dumps(payload)
+
+    def test_text_and_json_counts_agree(self, tmp_path):
+        # Two occurrences, one grandfathered: every count in the text
+        # summary line must match the JSON summary.
+        target = write_tree(tmp_path,
+                            source=DIRTY + "y = np.random.rand(4)\n")
+        findings = lint_paths([target]).findings
+        baseline = {fingerprint(findings[0]): 1}
+        result = lint_paths([target], baseline=baseline)
+        summary = render_json(result)["summary"]
+        assert (summary["total"], summary["new"],
+                summary["baselined"]) == (2, 1, 1)
+        expected = (f"{summary['total']} findings "
+                    f"({summary['new']} new, "
+                    f"{summary['baselined']} baselined, "
+                    f"{summary['suppressed']} suppressed)")
+        assert expected in render_text(result)
+
+
+class TestStaleBaseline:
+    def test_fixed_finding_marks_entry_stale(self, tmp_path):
+        target = write_tree(tmp_path)
+        dirty = lint_paths([target])
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(dirty.findings, path=baseline_path)
+        baseline = load_baseline(baseline_path)
+
+        target.write_text("x = 1\n", encoding="utf-8")  # fixed
+        result = lint_paths([target], baseline=baseline)
+        assert result.clean
+        assert result.stale_baseline == sorted(baseline)
+        payload = render_json(result)
+        assert payload["summary"]["stale_baseline"] == len(baseline)
+        text = render_text(result)
+        assert "stale baseline entry" in text
+        assert "--update-baseline" in text
+
+    def test_deleted_file_marks_entry_stale(self, tmp_path):
+        target = write_tree(tmp_path)
+        other = write_tree(tmp_path, name="clean.py", source="x = 1\n")
+        baseline = {fingerprint(f): 1
+                    for f in lint_paths([target]).findings}
+        target.unlink()
+        result = lint_paths([other], baseline=baseline)
+        assert result.stale_baseline == sorted(baseline)
+
+    def test_unscanned_existing_file_is_not_stale(self, tmp_path):
+        # A partial run must not condemn entries it never looked at.
+        first = write_tree(tmp_path, name="first.py")
+        second = write_tree(tmp_path, name="second.py")
+        baseline = {fingerprint(f): 1
+                    for f in lint_paths([first, second]).findings}
+        result = lint_paths([first], baseline=baseline)
+        assert result.clean
+        assert result.stale_baseline == []
+
+    def test_no_baseline_means_no_stale_entries(self, tmp_path):
+        result = lint_paths([write_tree(tmp_path)])
+        assert result.stale_baseline == []

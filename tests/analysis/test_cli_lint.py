@@ -110,6 +110,107 @@ class TestLintCommand:
         assert "1 suppressed" in capsys.readouterr().out
 
 
+class TestExplicitFileArgs:
+    """Satellite: explicit file arguments must fingerprint identically
+    to tree runs, whatever their spelling, or baselines stop working."""
+
+    def test_spellings_share_one_baseline(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        # Baseline built from a directory walk...
+        assert main(["lint", "--update-baseline",
+                     "--baseline-file", str(baseline), "nn"]) == 0
+        # ...grandfathers the same file spelled three other ways.
+        for spelling in ("nn/fixture.py", "./nn/fixture.py",
+                         str(tmp_path / "nn" / "fixture.py")):
+            assert main(["lint", "--baseline",
+                         "--baseline-file", str(baseline),
+                         spelling]) == 0, spelling
+
+    def test_file_and_dir_args_deduplicate(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_fixture(tmp_path)
+        main(["lint", "nn", "./nn/fixture.py"])
+        assert "1 files scanned" in capsys.readouterr().out
+
+
+class TestUpdateBaselineMaintenance:
+    """Satellite: stale-entry warnings and merge-aware pruning."""
+
+    def test_fixed_findings_warn_then_prune(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = write_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--update-baseline",
+                     "--baseline-file", str(baseline), "nn"]) == 0
+        capsys.readouterr()
+
+        path.write_text("x = 1\n", encoding="utf-8")  # all fixed
+        assert main(["lint", "--baseline",
+                     "--baseline-file", str(baseline), "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "stale baseline entr" in out
+        assert "--update-baseline" in out
+
+        assert main(["lint", "--update-baseline",
+                     "--baseline-file", str(baseline), "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "stale entries pruned" in out
+        assert "(0 stale entries pruned)" not in out
+        document = json.loads(baseline.read_text(encoding="utf-8"))
+        assert document["findings"] == {}
+
+    def test_partial_update_keeps_unscanned_entries(self, tmp_path,
+                                                    capsys,
+                                                    monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_fixture(tmp_path)
+        other = tmp_path / "other.py"
+        other.write_text("import numpy as np\n"
+                         "x = np.random.rand(3)\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--update-baseline",
+                     "--baseline-file", str(baseline),
+                     "nn", "other.py"]) == 0
+
+        # Re-baselining only other.py must not wipe the nn entries...
+        assert main(["lint", "--update-baseline",
+                     "--baseline-file", str(baseline),
+                     "other.py"]) == 0
+        document = json.loads(baseline.read_text(encoding="utf-8"))
+        assert any(key.startswith("nn/") for key in
+                   document["findings"])
+        # ...so the full gate still passes afterwards.
+        assert main(["lint", "--baseline",
+                     "--baseline-file", str(baseline),
+                     "nn", "other.py"]) == 0
+
+    def test_deleted_file_entries_pruned(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_fixture(tmp_path)
+        other = tmp_path / "other.py"
+        other.write_text("import numpy as np\n"
+                         "x = np.random.rand(3)\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--update-baseline",
+                     "--baseline-file", str(baseline),
+                     "nn", "other.py"]) == 0
+        other.unlink()
+        # other.py is gone: even a run scoped elsewhere prunes it.
+        assert main(["lint", "--update-baseline",
+                     "--baseline-file", str(baseline), "nn"]) == 0
+        document = json.loads(baseline.read_text(encoding="utf-8"))
+        assert not any(key.startswith("other.py") for key in
+                       document["findings"])
+        assert any(key.startswith("nn/") for key in
+                   document["findings"])
+
+
 class TestRepoIsClean:
     def test_head_lints_clean_under_checked_in_baseline(self, capsys):
         """The acceptance bar: `repro lint` on the repo itself passes

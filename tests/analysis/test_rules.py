@@ -96,6 +96,47 @@ class TestRPR002WallClock:
                          display="benchmarks/bench_example.py")
         assert "RPR002" not in hits
 
+    @pytest.mark.parametrize("call", [
+        "time.perf_counter_ns", "time.monotonic_ns", "time.time_ns",
+        "time.process_time_ns",
+    ])
+    def test_ns_resolution_clocks_flagged(self, tmp_path, call):
+        src = f"""
+            import time
+            t = {call}()
+        """
+        assert "RPR002" in rules_hit(tmp_path, src)
+
+    def test_datetime_now_from_import_flagged(self, tmp_path):
+        src = """
+            from datetime import datetime
+            now = datetime.now()
+        """
+        assert "RPR002" in rules_hit(tmp_path, src)
+
+    def test_date_today_from_import_flagged(self, tmp_path):
+        src = """
+            from datetime import date
+            today = date.today()
+        """
+        assert "RPR002" in rules_hit(tmp_path, src)
+
+    def test_from_time_import_alias_flagged(self, tmp_path):
+        src = """
+            from time import perf_counter_ns as tick
+            t = tick()
+        """
+        findings, _ = lint_source(tmp_path, src)
+        (finding,) = [f for f in findings if f.rule == "RPR002"]
+        assert "time.perf_counter_ns" in finding.message
+
+    def test_from_time_import_sleep_clean(self, tmp_path):
+        src = """
+            from time import sleep
+            sleep(0)
+        """
+        assert "RPR002" not in rules_hit(tmp_path, src)
+
     def test_sanctioned_wall_clock_helper_clean(self, tmp_path):
         src = """
             from repro.perf import wall_clock

@@ -43,6 +43,35 @@ class TestAggregationMatrix:
         n = dataset.num_vertices
         assert matrix.shape == (n, n)
 
+    @pytest.mark.parametrize("self_loops", [True, False])
+    def test_bit_identical_to_scipy_construction(self, dataset,
+                                                 self_loops):
+        """The numpy construction must reproduce the historical scipy
+        ``diags(1/deg) @ (csr + identity)`` operator bit-for-bit —
+        structure and float32 values — or full-batch training curves
+        drift from every pinned golden result."""
+        sp = pytest.importorskip("scipy.sparse")
+        graph = dataset.graph
+        n = graph.num_vertices
+        in_indptr, in_indices = graph.in_csr()
+        reference = sp.csr_matrix(
+            (np.ones(len(in_indices), dtype=np.float32),
+             in_indices.astype(np.int64), in_indptr.astype(np.int64)),
+            shape=(n, n))
+        if self_loops:
+            reference = reference + sp.identity(
+                n, dtype=np.float32, format="csr")
+        degree = np.asarray(reference.sum(axis=1)).ravel()
+        degree[degree == 0] = 1.0
+        scale = sp.diags((1.0 / degree).astype(np.float32))
+        reference = (scale @ reference).tocsr()
+
+        matrix = full_aggregation_matrix(graph, self_loops=self_loops)
+        assert matrix.shape == reference.shape
+        assert np.array_equal(matrix.indptr, reference.indptr)
+        assert np.array_equal(matrix.indices, reference.indices)
+        assert np.array_equal(matrix.data, reference.data)
+
 
 class TestFullBatchEngine:
     def test_one_update_per_epoch(self, dataset, partition):
